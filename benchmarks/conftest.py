@@ -1,0 +1,71 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation: it simulates the needed (workload, GPU, strategy) cells
+(memoized process-wide by :mod:`repro.experiments.runner`), prints the
+rows/series the paper reports, asserts the paper's qualitative shape, and
+records the numbers to ``benchmarks/results/*.json`` so EXPERIMENTS.md can
+cite them.
+
+Set ``REPRO_BENCH_WORKLOADS`` to a comma-separated key list (e.g.
+``3D-LE,NV-BB,PS-SS``) to run a fast subset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import WORKLOAD_KEYS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def selected_workloads() -> list[str]:
+    """Workload keys under test (full Table 2 set unless overridden)."""
+    override = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if not override:
+        return list(WORKLOAD_KEYS)
+    keys = [key.strip() for key in override.split(",") if key.strip()]
+    unknown = set(keys) - set(WORKLOAD_KEYS)
+    if unknown:
+        raise ValueError(f"unknown workload keys: {sorted(unknown)}")
+    return keys
+
+
+@pytest.fixture(scope="session")
+def workload_keys() -> list[str]:
+    return selected_workloads()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Persist one figure's rows as JSON for EXPERIMENTS.md."""
+
+    def _record(figure: str, payload) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{figure}.json"
+        path.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+
+    return _record
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render a figure's data as an aligned text table."""
+    formatted = [
+        [f"{cell:.2f}" if isinstance(cell, float) else str(cell)
+         for cell in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in formatted))
+        if formatted else len(header[i])
+        for i in range(len(header))
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in formatted:
+        print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))

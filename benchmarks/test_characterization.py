@@ -1,0 +1,60 @@
+"""Characterization surface: where ARC wins, as a function of the trace.
+
+Not a paper figure, but the synthesis of its two observations: sweep
+synthetic traces over intra-warp locality (groups per warp) and thread
+participation (mean active lanes) and map ARC's speedup.  The rendering
+workloads sit in the high-locality/high-activity corner; pagerank sits in
+the scattered corner where ARC is neutral.
+"""
+
+from conftest import print_table
+
+from repro.experiments.sweeps import characterization_sweep
+from repro.gpu import RTX4090_SIM
+
+
+def test_characterization_surface(benchmark, record):
+    def sweep():
+        return characterization_sweep(
+            RTX4090_SIM,
+            active_levels=(4, 8, 16, 24, 31),
+            group_levels=(1, 2, 4, 8),
+            n_batches=20_000,
+        )
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [p.groups_per_warp, p.mean_active, p.arc_hw_speedup,
+         p.arc_sw_speedup]
+        for p in points
+    ]
+    print_table(
+        "Characterization: ARC speedup vs trace shape (4090-Sim)",
+        ["groups/warp", "mean active", "ARC-HW", "ARC-SW"],
+        rows,
+    )
+    record(
+        "characterization_surface",
+        [
+            {
+                "groups_per_warp": p.groups_per_warp,
+                "mean_active": p.mean_active,
+                "arc_hw": p.arc_hw_speedup,
+                "arc_sw": p.arc_sw_speedup,
+            }
+            for p in points
+        ],
+    )
+
+    by_cell = {(p.groups_per_warp, p.mean_active): p for p in points}
+    # Within the coalesced column, more active lanes -> more reduction
+    # opportunity -> larger ARC-HW speedup.
+    coalesced = [by_cell[(1, a)].arc_hw_speedup for a in (4, 8, 16, 24, 31)]
+    assert coalesced[-1] > coalesced[0]
+    # At fixed activity, scattering the warp erodes the win.
+    dense = [by_cell[(g, 24)].arc_hw_speedup for g in (1, 2, 4, 8)]
+    assert dense[0] > dense[-1]
+    # The rendering corner is a clear win; the scattered corner is at
+    # worst neutral-ish.
+    assert by_cell[(1, 31)].arc_hw_speedup > 2.0
+    assert by_cell[(8, 4)].arc_hw_speedup > 0.7

@@ -1,0 +1,61 @@
+"""Figure 4: training-time breakdown (forward / loss / gradient).
+
+Paper: on the RTX 4090 the gradient-computation step takes 44% of training
+time on average (up to 66%); the share is largest for the big DB-COLMAP
+scenes (3D-PR, 3D-DR) and smaller for NV and PS.
+"""
+
+from conftest import print_table
+
+from repro.experiments import arithmetic_mean, get_trace, get_workload
+from repro.gpu import SIMULATED_GPUS
+from repro.profiling import training_breakdown
+
+
+def breakdown_rows(workload_keys):
+    rows = []
+    for gpu in SIMULATED_GPUS.values():
+        for key in workload_keys:
+            workload = get_workload(key)
+            trace = get_trace(key)
+            pairs, pixels = workload.forward_stats()
+            phase = training_breakdown(
+                trace, forward_pairs=pairs, n_pixels=pixels, config=gpu,
+                launches=workload.trace_views,
+                loss_channel_cycles=workload.loss_channel_cycles,
+            )
+            fractions = phase.fractions
+            rows.append(
+                [gpu.name, key, fractions["forward"], fractions["loss"],
+                 fractions["grad"]]
+            )
+    return rows
+
+
+def test_fig04_training_breakdown(benchmark, record, workload_keys):
+    rows = benchmark.pedantic(
+        breakdown_rows, args=(workload_keys,), rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 4: training-time breakdown",
+        ["gpu", "workload", "forward", "loss", "grad"],
+        rows,
+    )
+    record("fig04_breakdown", rows)
+
+    grad_4090 = {
+        row[1]: row[4] for row in rows if row[0] == "4090-Sim"
+    }
+    # The gradient step is a significant bottleneck on average...
+    mean_share = arithmetic_mean(grad_4090.values())
+    assert 0.30 < mean_share < 0.75, mean_share
+    # ...and every workload spends a nontrivial share in it.
+    assert all(share > 0.10 for share in grad_4090.values())
+    # The large photorealistic scenes are the worst (paper: PR/DR at
+    # ~62-66%), exceeding the NV workloads.
+    three_d = [v for k, v in grad_4090.items() if k.startswith("3D")]
+    nv = [v for k, v in grad_4090.items() if k.startswith("NV")]
+    if three_d and nv:
+        assert arithmetic_mean(three_d) > arithmetic_mean(nv)
+    if "3D-DR" in grad_4090 and "3D-LE" in grad_4090:
+        assert grad_4090["3D-DR"] > grad_4090["3D-LE"]

@@ -1,0 +1,44 @@
+"""Figure 8: baseline warp-stall breakdown on both GPUs.
+
+Paper: LSU stalls contribute over 60% of all stalls on average, and the
+RTX 4090 stalls more than the RTX 3060 because its SM:ROP ratio is worse.
+"""
+
+from conftest import print_table
+
+from repro.experiments import arithmetic_mean, get_result
+from repro.gpu import SIMULATED_GPUS
+from repro.profiling import stall_report
+
+
+def test_fig08_baseline_stall_breakdown(benchmark, record, workload_keys):
+    def measure():
+        rows = []
+        for gpu in SIMULATED_GPUS.values():
+            for key in workload_keys:
+                report = stall_report(get_result(key, gpu, "baseline"))
+                rows.append(
+                    [gpu.name, key, report.lsu_fraction,
+                     report.breakdown["compute"] + report.breakdown["issue"],
+                     report.stalls_per_instruction]
+                )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Figure 8: baseline warp stalls",
+        ["gpu", "workload", "lsu stall frac", "busy frac", "stalls/instr"],
+        rows,
+    )
+    record("fig08_stalls", rows)
+
+    lsu_4090 = [r[2] for r in rows if r[0] == "4090-Sim"]
+    lsu_3060 = [r[2] for r in rows if r[0] == "3060-Sim"]
+    # LSU stalls dominate the baseline's stall picture on the 4090 (paper:
+    # >60% of stalls on average across both GPUs).
+    assert arithmetic_mean(lsu_4090) > 0.55
+    # More stalls on the 4090 than the 3060 (worse SM:ROP ratio, §3.2).
+    assert arithmetic_mean(lsu_4090) > arithmetic_mean(lsu_3060)
+    spi_4090 = [r[4] for r in rows if r[0] == "4090-Sim"]
+    spi_3060 = [r[4] for r in rows if r[0] == "3060-Sim"]
+    assert arithmetic_mean(spi_4090) > arithmetic_mean(spi_3060)

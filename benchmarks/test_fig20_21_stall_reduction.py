@@ -1,0 +1,69 @@
+"""Figures 20 & 21: reduction in shader atomic stalls.
+
+Paper: ARC-HW reduces shader atomic stalls by 2.43x (4090-Sim) and 2.28x
+(3060-Sim) on average, versus 1.43x / 1.19x for LAB-ideal.
+"""
+
+from conftest import print_table
+
+from repro.experiments import arithmetic_mean, get_result
+from repro.profiling import atomic_stall_reduction
+
+STRATEGIES = ("ARC-HW", "LAB", "LAB-ideal")
+
+
+def reduction_rows(workload_keys, gpu):
+    rows = []
+    for key in workload_keys:
+        baseline = get_result(key, gpu, "baseline")
+        rows.append(
+            [key]
+            + [
+                atomic_stall_reduction(
+                    baseline, get_result(key, gpu, strategy)
+                )
+                for strategy in STRATEGIES
+            ]
+        )
+    return rows
+
+
+def check(rows, gpu):
+    means = {
+        strategy: arithmetic_mean(row[i + 1] for row in rows)
+        for i, strategy in enumerate(STRATEGIES)
+    }
+    # ARC-HW is the most effective at removing atomic stalls.
+    assert means["ARC-HW"] > means["LAB-ideal"], (gpu, means)
+    assert means["ARC-HW"] > 2.0, (gpu, means)
+    return means
+
+
+def test_fig20_stall_reduction_3060(benchmark, record, workload_keys):
+    rows = benchmark.pedantic(
+        reduction_rows, args=(workload_keys, "3060-Sim"), rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Figure 20: shader atomic-stall reduction on 3060-Sim",
+        ["workload", *STRATEGIES],
+        rows,
+    )
+    record("fig20_stall_reduction_3060", rows)
+    means = check(rows, "3060-Sim")
+    print(f"means: { {k: round(v, 2) for k, v in means.items()} }")
+
+
+def test_fig21_stall_reduction_4090(benchmark, record, workload_keys):
+    rows = benchmark.pedantic(
+        reduction_rows, args=(workload_keys, "4090-Sim"), rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Figure 21: shader atomic-stall reduction on 4090-Sim",
+        ["workload", *STRATEGIES],
+        rows,
+    )
+    record("fig21_stall_reduction_4090", rows)
+    means = check(rows, "4090-Sim")
+    print(f"means: { {k: round(v, 2) for k, v in means.items()} }")

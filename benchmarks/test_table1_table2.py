@@ -1,0 +1,53 @@
+"""Tables 1 and 2: simulated GPU configurations and the workload registry."""
+
+from conftest import print_table
+
+from repro.gpu import SIMULATED_GPUS
+from repro.workloads import WORKLOAD_KEYS, load_workload
+
+
+def test_table1_gpu_configurations(benchmark, record):
+    def build():
+        return [
+            [
+                gpu.name, gpu.num_sms, gpu.registers_per_sm, gpu.num_rops,
+                f"{gpu.clock_ghz}GHz", gpu.subcores_per_sm,
+                f"{gpu.l1_kib_per_sm}KB", f"{gpu.l2_mib}MB",
+                gpu.dram_channels, gpu.dram_gib,
+            ]
+            for gpu in SIMULATED_GPUS.values()
+        ]
+
+    rows = benchmark(build)
+    print_table(
+        "Table 1: simulated GPU configurations",
+        ["config", "SMs", "regs/SM", "ROPs", "clock", "sub-cores",
+         "L1/SM", "L2", "DRAM ch", "GB"],
+        rows,
+    )
+    record("table1_configs", rows)
+    by_name = {row[0]: row for row in rows}
+    assert by_name["4090-Sim"][1] == 128 and by_name["4090-Sim"][3] == 176
+    assert by_name["3060-Sim"][1] == 28 and by_name["3060-Sim"][3] == 48
+
+
+def test_table2_workload_registry(benchmark, record):
+    def build():
+        return [
+            [w.key, w.app, w.dataset, f"{w.width}x{w.height}",
+             "yes" if w.bfly_eligible else "no"]
+            for w in (load_workload(key) for key in WORKLOAD_KEYS)
+        ]
+
+    rows = benchmark(build)
+    print_table(
+        "Table 2: workloads and datasets",
+        ["key", "application", "dataset", "resolution", "SW-B eligible"],
+        rows,
+    )
+    record("table2_workloads", rows)
+    assert len(rows) == 12
+    apps = {row[1] for row in rows}
+    assert apps == {"3DGS", "NvDiffRec", "Pulsar"}
+    # Pulsar kernels cannot use butterfly reduction (§7.2).
+    assert all(row[4] == "no" for row in rows if row[0].startswith("PS"))

@@ -1,0 +1,59 @@
+"""Why ARC does not help graph analytics (paper §5.6).
+
+Pagerank also floods the GPU with atomics, but with *low* intra-warp
+locality: a warp's 32 edges scatter across 32 destination vertices, so
+warp-level reduction finds almost nothing to merge.  This example builds a
+push-style pagerank over a power-law graph, verifies the trace's locality
+is under 0.1% (versus >99% for 3DGS), and shows that ARC neither helps nor
+hurts -- the reduction path simply bypasses.
+
+Run:  python examples/pagerank_counterexample.py
+"""
+
+import numpy as np
+
+from repro import RTX4090_SIM, simulate_kernel
+from repro.core import ArcHW, ArcSWSerialized, BaselineAtomic
+from repro.trace.analysis import profile_trace
+from repro.workloads import GaussianWorkload, PagerankWorkload
+
+
+def main() -> None:
+    pagerank = PagerankWorkload(n_nodes=4000, attachments=4, seed=0)
+    ranks = pagerank.solve(iterations=30)
+    print(f"Pagerank over {pagerank.n_nodes:,} nodes / "
+          f"{pagerank.n_edges:,} directed edges "
+          f"(sum of ranks = {ranks.sum():.4f})")
+
+    pr_profile = profile_trace(pagerank.capture_trace())
+    gs_trace = GaussianWorkload(
+        key="3dgs-ref", dataset="demo", description="reference",
+        n_gaussians=400, base_scale=0.15, extent=1.3,
+        width=96, height=96, seed=2,
+    ).capture_trace()
+    gs_profile = profile_trace(gs_trace)
+
+    print("\nIntra-warp locality (all active lanes on one address):")
+    print(f"  pagerank:           {pr_profile.locality:8.3%}  "
+          "(paper: < 0.1%)")
+    print(f"  3D Gaussian splats: {gs_profile.locality:8.3%}  "
+          "(paper: > 99%)")
+
+    trace = pagerank.capture_trace()
+    baseline = simulate_kernel(trace, RTX4090_SIM, BaselineAtomic())
+    arc_hw = simulate_kernel(trace, RTX4090_SIM, ArcHW())
+    arc_sw = simulate_kernel(trace, RTX4090_SIM, ArcSWSerialized(8))
+    print(f"\nPagerank atomic kernel on {RTX4090_SIM.name}:")
+    for result in (baseline, arc_hw, arc_sw):
+        print(f"  {result.strategy:<12} {result.total_cycles:>12,.0f} cycles "
+              f"({result.speedup_over(baseline):.3f}x)")
+    print("\nARC's reduction path bypasses (no same-address groups), so the"
+          "\nworkload keeps the baseline's behaviour instead of regressing.")
+
+    change = arc_hw.speedup_over(baseline)
+    assert 0.9 < change < 1.2, "ARC should be neutral on pagerank"
+    assert np.isclose(ranks.sum(), 1.0, atol=1e-6)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: accelerate one gradient kernel with ARC.
+
+Builds a small 3D Gaussian Splatting scene, captures the warp-level atomic
+trace of its gradient-computation kernel (the paper's Figure 5 kernel),
+and replays it on a simulated GPU under the ``atomicAdd`` baseline
+and both ARC implementations.
+
+Run:  python examples/quickstart.py
+"""
+
+# Demo scenes are small (a 96x96 image is only 36 tile blocks), which
+# underfills the RTX 4090's 512 sub-cores; the RTX 3060 matches the
+# launch size, as the paper's full-resolution scenes match the 4090.
+from repro import RTX3060_SIM, simulate_kernel
+from repro.core import ArcHW, ArcSWButterfly, BaselineAtomic
+from repro.trace.analysis import profile_trace
+from repro.workloads import GaussianWorkload
+
+
+def main() -> None:
+    # A scaled-down 3DGS workload: a clustered Gaussian scene whose
+    # backward pass really computes gradients (and emits the trace).
+    workload = GaussianWorkload(
+        key="quickstart",
+        dataset="demo",
+        description="small Gaussian scene",
+        n_gaussians=500,
+        base_scale=0.14,
+        extent=1.5,
+        width=96,
+        height=96,
+        seed=1,
+    )
+    trace = workload.capture_trace()
+
+    profile = profile_trace(trace)
+    print("Gradient-kernel atomic trace")
+    print(f"  warp batches:        {profile.n_batches:,}")
+    print(f"  atomic lane-ops:     {profile.lane_ops:,}")
+    print(f"  intra-warp locality: {profile.locality:.1%} "
+          "(warps whose active lanes share one address; paper Obs. 1)")
+    print(f"  mean active lanes:   {profile.mean_active:.1f} / 32 "
+          "(paper Obs. 2)")
+    print()
+
+    baseline = simulate_kernel(trace, RTX3060_SIM, BaselineAtomic())
+    arc_sw = simulate_kernel(trace, RTX3060_SIM, ArcSWButterfly(8))
+    arc_hw = simulate_kernel(trace, RTX3060_SIM, ArcHW())
+
+    print(f"Simulated gradient kernel on {RTX3060_SIM.name}")
+    header = f"  {'strategy':<12} {'cycles':>12} {'ROP ops':>12} {'speedup':>8}"
+    print(header)
+    for result in (baseline, arc_sw, arc_hw):
+        print(
+            f"  {result.strategy:<12} {result.total_cycles:>12,.0f} "
+            f"{result.rop_ops:>12,} "
+            f"{result.speedup_over(baseline):>7.2f}x"
+        )
+    lsu = baseline.stall_breakdown()["lsu_stall"]
+    print(f"\nBaseline sub-core time stalled on the LSU: {lsu:.0%} "
+          "(the paper's atomic bottleneck)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Auto-tune ARC-SW's balancing threshold (paper §5.5.3 and Figure 23).
+
+The balancing threshold decides which warp groups are reduced in the SM
+versus sent to the L2 ROP units.  Its optimum depends on the workload and
+the GPU, so the paper profiles all values on one training iteration every
+N iterations.  This example sweeps the threshold for a Gaussian and a
+sphere workload on both simulated GPUs and shows the auto-tuner converging
+on the per-case best.
+
+Run:  python examples/tune_threshold.py
+"""
+
+from repro import RTX3060_SIM, RTX4090_SIM
+from repro.core.autotune import ThresholdAutotuner, tune_threshold
+from repro.workloads import GaussianWorkload, SphereWorkload
+
+CANDIDATES = (0, 4, 8, 12, 16, 24, 32)
+
+
+def sweep(title: str, trace, variant: str) -> None:
+    print(title)
+    for config in (RTX4090_SIM, RTX3060_SIM):
+        best, timings = tune_threshold(
+            trace, config, variant=variant, candidates=CANDIDATES
+        )
+        slowest = max(timings.values())
+        print(f"  {config.name}: best threshold = {best}")
+        for threshold in CANDIDATES:
+            bar = "#" * int(40 * timings[threshold] / slowest)
+            marker = " <- best" if threshold == best else ""
+            print(f"    X={threshold:>2}  {timings[threshold]:>12,.0f} "
+                  f"cycles {bar}{marker}")
+    print()
+
+
+def main() -> None:
+    gaussians = GaussianWorkload(
+        key="tune-3d", dataset="demo", description="Gaussian scene",
+        n_gaussians=700, base_scale=0.14, extent=1.6,
+        width=160, height=128, trace_views=2, seed=7,
+    )
+    spheres = SphereWorkload(
+        key="tune-ps", dataset="demo", description="sphere scene",
+        n_spheres=500, base_radius=0.14, extent=1.4,
+        width=160, height=128, trace_views=2, seed=8,
+    )
+    trace_3d = gaussians.capture_trace()
+    trace_ps = spheres.capture_trace()
+
+    sweep("SW-B threshold sweep, Gaussian workload:", trace_3d, "B")
+    sweep("SW-S threshold sweep, Pulsar workload (SW-B inapplicable):",
+          trace_ps, "S")
+
+    # The online tuner re-profiles every `period` iterations.
+    tuner = ThresholdAutotuner(
+        RTX4090_SIM, variant="B", period=50, candidates=CANDIDATES
+    )
+    chosen = [
+        tuner.threshold(iteration, lambda: trace_3d)
+        for iteration in range(120)
+    ]
+    print("Online auto-tuner over 120 training iterations "
+          f"(re-profiling every {tuner.period}):")
+    print(f"  thresholds used: {sorted(set(chosen))}, "
+          f"profiling passes: {tuner.profiles_run}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so ``pip install -e .`` works in fully offline environments where the
+PEP 517 editable path is unavailable (no ``wheel`` package).  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

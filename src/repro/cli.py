@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the library for the common one-off questions:
+
+* ``list``       -- available workloads, strategies and GPUs.
+* ``profile``    -- a workload's atomic-trace characteristics (Obs. 1/2).
+* ``simulate``   -- speedup table of strategies on one workload.
+* ``train``      -- train a workload's model and report loss/PSNR.
+* ``breakdown``  -- training-time phase breakdown (Figure 4).
+* ``tune``       -- balancing-threshold sweep (§5.5.3 / Figure 23).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import STRATEGY_FACTORIES
+from repro.gpu import SIMULATED_GPUS, simulate_kernel
+from repro.profiling import training_breakdown
+from repro.trace.analysis import profile_trace
+from repro.workloads import WORKLOAD_KEYS, load_workload
+
+__all__ = ["main"]
+
+_DEFAULT_STRATEGIES = (
+    "baseline", "ARC-HW", "ARC-SW-B-8", "ARC-SW-S-8", "CCCL",
+    "LAB", "LAB-ideal", "PHI",
+)
+
+
+def _add_workload_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", "-w", default="3D-LE", choices=WORKLOAD_KEYS,
+        help="Table 2 workload key (default: 3D-LE)",
+    )
+
+
+def _add_gpu_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--gpu", "-g", default="3060-Sim", choices=sorted(SIMULATED_GPUS),
+        help="simulated GPU (default: 3060-Sim)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ARC (ASPLOS 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, strategies and GPUs")
+
+    profile = sub.add_parser(
+        "profile", help="atomic-trace characteristics of a workload"
+    )
+    _add_workload_arg(profile)
+
+    simulate = sub.add_parser(
+        "simulate", help="compare atomic strategies on one workload"
+    )
+    _add_workload_arg(simulate)
+    _add_gpu_arg(simulate)
+    simulate.add_argument(
+        "--strategies", "-s", nargs="+", default=list(_DEFAULT_STRATEGIES),
+        metavar="NAME", help="strategy names (see `repro list`)",
+    )
+
+    train = sub.add_parser("train", help="train a workload's model")
+    _add_workload_arg(train)
+    train.add_argument("--iterations", "-n", type=int, default=50)
+
+    breakdown = sub.add_parser(
+        "breakdown", help="training-time phase breakdown (Figure 4)"
+    )
+    _add_workload_arg(breakdown)
+    _add_gpu_arg(breakdown)
+
+    tune = sub.add_parser(
+        "tune", help="balancing-threshold sweep (Figure 23)"
+    )
+    _add_workload_arg(tune)
+    _add_gpu_arg(tune)
+    tune.add_argument("--variant", choices=("B", "S"), default="B")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Workloads (Table 2):")
+    for key in WORKLOAD_KEYS:
+        workload = load_workload(key)
+        print(f"  {key:<6} {workload.app:<10} {workload.dataset}")
+    print("\nStrategies:")
+    for name in STRATEGY_FACTORIES:
+        print(f"  {name}")
+    print("\nGPUs (Table 1):")
+    for gpu in SIMULATED_GPUS.values():
+        print(f"  {gpu.name:<9} {gpu.num_sms} SMs, {gpu.num_rops} ROPs, "
+              f"{gpu.clock_ghz} GHz")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    workload = load_workload(args.workload)
+    profile = profile_trace(workload.capture_trace())
+    print(profile)
+    print(f"  intra-warp locality (Obs. 1): {profile.locality:.1%}")
+    print(f"  mean active lanes   (Obs. 2): {profile.mean_active:.1f} / 32")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    unknown = [s for s in args.strategies if s not in STRATEGY_FACTORIES]
+    if unknown:
+        print(f"unknown strategies: {unknown}", file=sys.stderr)
+        return 2
+    workload = load_workload(args.workload)
+    trace = workload.capture_trace()
+    gpu = SIMULATED_GPUS[args.gpu]
+    rows = []
+    baseline = None
+    for name in args.strategies:
+        if "SW-B" in name and not trace.bfly_eligible:
+            rows.append([name, "-", "-", "- (divergent kernel)"])
+            continue
+        result = simulate_kernel(trace, gpu, STRATEGY_FACTORIES[name]())
+        if baseline is None or name == "baseline":
+            baseline = baseline or result
+        rows.append(
+            [name, f"{result.total_cycles:,.0f}",
+             f"{result.rop_ops:,}",
+             f"{result.speedup_over(baseline):.2f}x"]
+        )
+    print(format_table(
+        ["strategy", "cycles", "ROP ops", "speedup"], rows,
+        title=f"{args.workload} gradient kernel on {gpu.name}",
+    ))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    workload = load_workload(args.workload)
+    report = workload.train(iterations=args.iterations)
+    print(f"{args.workload}: {report.iterations} iterations in "
+          f"{report.wall_seconds:.1f}s")
+    print(f"  loss {report.losses[0]:.4f} -> {report.final_loss:.4f}")
+    print(f"  PSNR {report.psnr_start:.2f} dB -> {report.psnr_end:.2f} dB")
+    return 0
+
+
+def _cmd_breakdown(args) -> int:
+    workload = load_workload(args.workload)
+    trace = workload.capture_trace()
+    pairs, pixels = workload.forward_stats()
+    phases = training_breakdown(
+        trace, forward_pairs=pairs, n_pixels=pixels,
+        config=SIMULATED_GPUS[args.gpu], launches=workload.trace_views,
+        loss_channel_cycles=workload.loss_channel_cycles,
+    )
+    fractions = phases.fractions
+    print(f"{args.workload} on {args.gpu} (one training iteration):")
+    for phase in ("forward", "loss", "grad"):
+        print(f"  {phase:<8} {fractions[phase]:6.1%}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.core.autotune import tune_threshold
+
+    workload = load_workload(args.workload)
+    trace = workload.capture_trace()
+    if args.variant == "B" and not trace.bfly_eligible:
+        print(f"{args.workload} cannot use SW-B (divergent kernel); "
+              "use --variant S", file=sys.stderr)
+        return 2
+    best, timings = tune_threshold(
+        trace, SIMULATED_GPUS[args.gpu], variant=args.variant,
+        candidates=(0, 4, 8, 12, 16, 20, 24, 32),
+    )
+    rows = [
+        [f"X={x}", f"{cycles:,.0f}", "<- best" if x == best else ""]
+        for x, cycles in timings.items()
+    ]
+    print(format_table(
+        ["threshold", "cycles", ""], rows,
+        title=f"SW-{args.variant} threshold sweep, "
+              f"{args.workload} on {args.gpu}",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse *argv* (default ``sys.argv``) and run the chosen command."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "list": lambda: _cmd_list(),
+        "profile": lambda: _cmd_profile(args),
+        "simulate": lambda: _cmd_simulate(args),
+        "train": lambda: _cmd_train(args),
+        "breakdown": lambda: _cmd_breakdown(args),
+        "tune": lambda: _cmd_tune(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""ARC and every comparison strategy from the paper's evaluation."""
+
+from repro.core.arc_hw import ArcHW
+from repro.core.arc_sw import ArcSWButterfly, ArcSWSerialized
+from repro.core.base import AtomicStrategy, BatchPlan, BatchView, EngineView, MemRequest
+from repro.core.baseline import BaselineAtomic
+from repro.core.cccl import CCCLReduce
+from repro.core.dab import DAB
+from repro.core.lab import LAB, LABIdeal
+from repro.core.phi import PHI
+
+__all__ = [
+    "AtomicStrategy",
+    "BatchPlan",
+    "BatchView",
+    "EngineView",
+    "MemRequest",
+    "BaselineAtomic",
+    "ArcSWSerialized",
+    "ArcSWButterfly",
+    "ArcHW",
+    "CCCLReduce",
+    "DAB",
+    "LAB",
+    "LABIdeal",
+    "PHI",
+]

@@ -1,0 +1,114 @@
+"""Balancing-threshold auto-tuning (paper §5.5.3).
+
+The balancing threshold has 33 possible values (0-32) and the gradient
+kernel runs hundreds of thousands of times per training, so the paper
+profiles all values on one training iteration, keeps the fastest, and
+re-profiles every N iterations (2000 in their evaluation).  Here a
+"profiling run" is one simulator execution of the captured kernel trace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.arc_sw import ArcSWButterfly, ArcSWSerialized
+from repro.gpu.config import GPUConfig
+from repro.gpu.engine import simulate_kernel
+from repro.gpu.warp import WARP_SIZE
+from repro.trace.events import KernelTrace
+
+__all__ = ["tune_threshold", "ThresholdAutotuner", "DEFAULT_RETUNE_PERIOD"]
+
+#: Iterations between re-profiling passes (paper's N).
+DEFAULT_RETUNE_PERIOD = 2000
+
+
+def _variant_factory(variant: str) -> Callable[[int], object]:
+    if variant == "B":
+        return ArcSWButterfly
+    if variant == "S":
+        return ArcSWSerialized
+    raise ValueError(f"variant must be 'B' or 'S', got {variant!r}")
+
+
+def tune_threshold(
+    trace: KernelTrace,
+    config: GPUConfig,
+    variant: str = "B",
+    candidates: Sequence[int] | None = None,
+) -> tuple[int, dict[int, float]]:
+    """Profile every candidate threshold; return the best and all timings.
+
+    With ``candidates=None`` all 33 values are profiled, exactly as in the
+    paper; pass a subset for cheaper tuning.
+    """
+    factory = _variant_factory(variant)
+    if candidates is None:
+        candidates = range(WARP_SIZE + 1)
+    candidates = list(candidates)
+    if not candidates:
+        raise ValueError("no candidate thresholds")
+    timings = {}
+    for threshold in candidates:
+        result = simulate_kernel(trace, config, factory(threshold))
+        timings[threshold] = result.total_cycles
+    best = min(timings, key=timings.get)
+    return best, timings
+
+
+class ThresholdAutotuner:
+    """Online tuner: re-profiles every *period* training iterations.
+
+    Usage::
+
+        tuner = ThresholdAutotuner(config, variant="B")
+        for iteration in range(n_iterations):
+            threshold = tuner.threshold(iteration, lambda: capture())
+            ...  # run the kernel with `threshold`
+
+    The capture callback is only invoked on profiling iterations, because
+    capturing a trace costs a full instrumented kernel run.
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        variant: str = "B",
+        period: int = DEFAULT_RETUNE_PERIOD,
+        candidates: Sequence[int] | None = None,
+        initial_threshold: int = 16,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 <= initial_threshold <= WARP_SIZE:
+            raise ValueError("initial_threshold out of range")
+        _variant_factory(variant)  # validate early
+        self.config = config
+        self.variant = variant
+        self.period = period
+        self.candidates = candidates
+        self._current = initial_threshold
+        self._profiles_run = 0
+
+    @property
+    def current_threshold(self) -> int:
+        return self._current
+
+    @property
+    def profiles_run(self) -> int:
+        """How many profiling passes have executed (overhead metric)."""
+        return self._profiles_run
+
+    def threshold(
+        self, iteration: int, trace_provider: Callable[[], KernelTrace]
+    ) -> int:
+        """Threshold to use at *iteration*, re-profiling when due."""
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        if iteration % self.period == 0:
+            trace = trace_provider()
+            self._current, _ = tune_threshold(
+                trace, self.config, self.variant, self.candidates
+            )
+            self._profiles_run += 1
+        return self._current

@@ -1,0 +1,177 @@
+"""Strategy interface for atomic-update handling.
+
+Every approach evaluated in the paper -- the ``atomicAdd`` baseline, ARC-SW
+(serialized and butterfly), ARC-HW, CCCL-style warp reduction, LAB /
+LAB-ideal and PHI -- is an :class:`AtomicStrategy`.  A strategy is consulted
+once per warp batch and answers with a :class:`BatchPlan`: how many cycles
+the sub-core spends issuing extra instructions, how much work lands on
+SM-local units (ARC-HW reduction FPU, LAB SRAM buffer, PHI L1 tags), and
+which memory transactions travel to the L2 ROP units.
+
+Static strategies derive their plan purely from the batch's coalesced
+groups.  Dynamic ones (ARC-HW's greedy scheduler, LAB's finite buffer) also
+read live engine state through :class:`EngineView`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.gpu.config import GPUConfig
+    from repro.trace.events import KernelTrace
+
+
+__all__ = ["MemRequest", "BatchPlan", "BatchView", "EngineView", "AtomicStrategy"]
+
+
+@dataclass(frozen=True, slots=True)
+class MemRequest:
+    """One coalesced atomic transaction headed for the memory subsystem.
+
+    ``rop_ops`` is the number of serialized same-address lane operations the
+    ROP unit must perform for this transaction (hardware processes atomics
+    to a common address one at a time).
+    """
+
+    slot: int
+    rop_ops: int
+    #: Distinct destination addresses the transaction's operations cover
+    #: (one per learned parameter).  Operations to *different* addresses
+    #: can proceed in parallel at the memory partitions; only same-address
+    #: operations serialize, so the per-address dependency chain advances
+    #: by ``rop_ops / addresses`` operations.
+    addresses: int = 1
+    #: Request is produced by the ARC-HW reduction unit and becomes ready
+    #: only once the serial FPU reduction finishes.
+    after_ru: bool = False
+    #: Request does not occupy an LSU queue entry (LAB-ideal's dedicated
+    #: SRAM port).
+    bypass_lsu: bool = False
+
+
+@dataclass(slots=True)
+class BatchPlan:
+    """Cost/traffic outcome of one warp batch under some strategy."""
+
+    #: Extra sub-core issue cycles (beyond the batch's gradient math).
+    issue_cycles: float = 0.0
+    #: Values serially summed on the ARC-HW per-sub-core reduction FPU.
+    ru_values: int = 0
+    #: Lane values applied at the SM-level LAB SRAM atomic buffer.
+    sm_buffer_ops: int = 0
+    #: Lane values applied at the SM's L1 tags (PHI).
+    l1_tag_ops: int = 0
+    #: Warp-wide shuffle instructions executed (for energy accounting).
+    shuffle_ops: int = 0
+    #: Transactions sent toward L2 (or absorbed by a local buffer).
+    requests: list[MemRequest] = field(default_factory=list)
+    #: LAB/PHI only: requests are absorbed by the local buffer; the listed
+    #: requests below are evictions that do continue to the ROPs.
+    local_absorb: bool = False
+
+
+class BatchView:
+    """Cheap per-batch view handed to strategies.
+
+    Exposes the address-coalescing result (group slots and sizes, as plain
+    sequences), the parameter count, and placement (which SM executes the
+    batch).
+    """
+
+    __slots__ = ("index", "sm", "subcore", "slots", "sizes", "num_params",
+                 "bfly_eligible")
+
+    def __init__(self, index, sm, subcore, slots, sizes, num_params,
+                 bfly_eligible):
+        self.index = index
+        self.sm = sm
+        self.subcore = subcore
+        self.slots = slots
+        self.sizes = sizes
+        self.num_params = num_params
+        self.bfly_eligible = bfly_eligible
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.slots)
+
+    @property
+    def active_lanes(self) -> int:
+        return int(sum(self.sizes))
+
+    @property
+    def all_same_slot(self) -> bool:
+        """True when every *active* lane updates one common slot."""
+        return len(self.slots) == 1
+
+
+class EngineView(ABC):
+    """Live engine state visible to dynamic strategies."""
+
+    #: Current simulation time in cycles (kept a plain attribute: it is
+    #: read/written once per batch on the hot path).
+    now: float = 0.0
+
+    @abstractmethod
+    def lsu_pressure(self, sm: int) -> float:
+        """Occupancy of *sm*'s LSU queue in [0, 1].
+
+        ARC-HW's greedy scheduler reads this: a (nearly) full queue means
+        the ROP path is backed up, so the warp should reduce locally.
+        """
+
+    def ru_backlog(self, subcore: int) -> float:
+        """Pending work (cycles) queued at *subcore*'s reduction unit.
+
+        The §4.3 greedy scheduler picks "whichever queue is free": it
+        only diverts to the reduction FPU while the FPU is keeping up.
+        Engines without reduction units report zero.
+        """
+        return 0.0
+
+
+class AtomicStrategy(ABC):
+    """Base class for every atomic-handling approach."""
+
+    #: Short identifier used in reports ("baseline", "ARC-SW-B", ...).
+    name: str = "abstract"
+
+    def begin_kernel(self, trace: KernelTrace, config: GPUConfig) -> None:
+        """Reset per-launch state.  Called once before simulation."""
+
+    @abstractmethod
+    def plan_batch(self, batch: BatchView, engine: EngineView) -> BatchPlan:
+        """Decide how *batch*'s atomic updates are carried out."""
+
+    def end_kernel(self, engine: EngineView) -> list[tuple[int, MemRequest]]:
+        """Flush residual buffered state; returns ``(sm, request)`` pairs."""
+        return []
+
+    def reduce_batch_values(
+        self, lane_slots: np.ndarray, values: np.ndarray
+    ) -> list[tuple[int, np.ndarray]]:
+        """Functional semantics: per-slot contribution of one batch.
+
+        Returns ``(slot, params_vector)`` pairs whose accumulation must
+        equal the plain scatter-add reference (modulo FP reassociation).
+        The default performs a per-group left-to-right sum, which matches
+        serialized reduction; subclasses with a different reduction order
+        (butterfly) override this to model their exact FP ordering.
+        """
+        contributions = []
+        for slot in np.unique(lane_slots[lane_slots >= 0]):
+            members = np.nonzero(lane_slots == slot)[0]
+            total = values[members[0]].astype(np.float64).copy()
+            for lane in members[1:]:
+                total += values[lane]
+            contributions.append((int(slot), total))
+        return contributions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

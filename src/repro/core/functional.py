@@ -1,0 +1,49 @@
+"""Functional (value-level) semantics of atomic strategies.
+
+Timing aside, every strategy must compute the *same gradients* as the plain
+scatter-add baseline -- warp-level reduction only reassociates floating
+point additions (§5.2 of the paper: the operations are commutative and the
+workloads tolerate reassociation noise).  This module executes a strategy's
+value semantics over a whole trace so tests can assert that invariant, and
+so users can quantify the reassociation error for their own workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import AtomicStrategy
+from repro.trace.events import KernelTrace
+
+__all__ = ["accumulate_with_strategy", "max_relative_error"]
+
+
+def accumulate_with_strategy(
+    trace: KernelTrace, strategy: AtomicStrategy
+) -> np.ndarray:
+    """Gradient buffer produced by running *strategy*'s reductions.
+
+    Applies :meth:`AtomicStrategy.reduce_batch_values` batch by batch and
+    accumulates the per-slot contributions, mimicking what the memory
+    system would hold after the kernel.  Requires a trace with values.
+    """
+    if trace.values is None:
+        raise ValueError("trace carries no values; capture with values=True")
+    sums = np.zeros((trace.n_slots, trace.num_params), dtype=np.float64)
+    for lane_slots, values in zip(trace.lane_slots, trace.values):
+        for slot, contribution in strategy.reduce_batch_values(lane_slots, values):
+            sums[slot] += contribution
+    return sums
+
+
+def max_relative_error(result: np.ndarray, reference: np.ndarray) -> float:
+    """Largest elementwise relative error of *result* vs *reference*.
+
+    Entries where the reference is (near) zero are compared absolutely.
+    """
+    if result.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: {result.shape} vs {reference.shape}"
+        )
+    scale = np.maximum(np.abs(reference), 1.0)
+    return float(np.max(np.abs(result - reference) / scale, initial=0.0))

@@ -1,0 +1,44 @@
+"""Experiment orchestration: cached workload x strategy x GPU matrices."""
+
+from repro.experiments.report import format_speedup_matrix, format_table
+from repro.experiments.sweeps import (
+    SweepPoint,
+    characterization_sweep,
+    make_character_trace,
+)
+from repro.experiments.runner import (
+    STRATEGY_FACTORIES,
+    SWEEP_THRESHOLDS,
+    Cell,
+    arithmetic_mean,
+    best_sw_result,
+    best_threshold,
+    clear_caches,
+    get_result,
+    get_trace,
+    get_workload,
+    run_matrix,
+    speedups_over_baseline,
+    strategy_applicable,
+)
+
+__all__ = [
+    "format_speedup_matrix",
+    "SweepPoint",
+    "characterization_sweep",
+    "make_character_trace",
+    "format_table",
+    "STRATEGY_FACTORIES",
+    "SWEEP_THRESHOLDS",
+    "Cell",
+    "arithmetic_mean",
+    "best_sw_result",
+    "best_threshold",
+    "clear_caches",
+    "get_result",
+    "get_trace",
+    "get_workload",
+    "run_matrix",
+    "speedups_over_baseline",
+    "strategy_applicable",
+]

@@ -1,0 +1,208 @@
+"""Experiment runner: workload x strategy x GPU matrices with caching.
+
+The benchmark harness reproduces ~14 tables/figures that share traces and
+simulations (the same baseline run appears in half the figures).  This
+module memoizes workload trace captures and simulation results
+process-wide, so each (workload, GPU, strategy) cell is simulated exactly
+once per session no matter how many figures reference it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core import (
+    LAB,
+    PHI,
+    ArcHW,
+    ArcSWButterfly,
+    ArcSWSerialized,
+    AtomicStrategy,
+    BaselineAtomic,
+    CCCLReduce,
+    LABIdeal,
+)
+from repro.gpu import SIMULATED_GPUS, GPUConfig, SimResult, simulate_kernel
+from repro.trace.events import KernelTrace
+from repro.workloads import Workload, load_workload
+
+__all__ = [
+    "STRATEGY_FACTORIES",
+    "get_workload",
+    "get_trace",
+    "get_result",
+    "run_matrix",
+    "speedups_over_baseline",
+    "arithmetic_mean",
+    "clear_caches",
+]
+
+#: Canonical strategy factories by report name.  ARC-SW entries carry the
+#: balancing threshold in the name, as in the paper ("SW-B-16").
+STRATEGY_FACTORIES: dict[str, Callable[[], AtomicStrategy]] = {
+    "baseline": BaselineAtomic,
+    "ARC-HW": ArcHW,
+    "CCCL": CCCLReduce,
+    "LAB": LAB,
+    "LAB-ideal": LABIdeal,
+    "PHI": PHI,
+    **{
+        f"ARC-SW-B-{threshold}": (
+            lambda threshold=threshold: ArcSWButterfly(threshold)
+        )
+        for threshold in (0, 4, 8, 16, 24)
+    },
+    **{
+        f"ARC-SW-S-{threshold}": (
+            lambda threshold=threshold: ArcSWSerialized(threshold)
+        )
+        for threshold in (0, 4, 8, 16, 24)
+    },
+}
+
+#: Balancing thresholds swept by the Figure 23 sensitivity study.
+SWEEP_THRESHOLDS = (0, 4, 8, 16, 24)
+
+_workload_cache: dict[str, Workload] = {}
+_trace_cache: dict[str, KernelTrace] = {}
+_result_cache: dict[tuple[str, str, str], SimResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop all memoized workloads, traces and simulation results."""
+    _workload_cache.clear()
+    _trace_cache.clear()
+    _result_cache.clear()
+
+
+def get_workload(key: str) -> Workload:
+    """Memoized workload instance (built lazily on first use)."""
+    if key not in _workload_cache:
+        _workload_cache[key] = load_workload(key)
+    return _workload_cache[key]
+
+
+def get_trace(key: str) -> KernelTrace:
+    """Memoized gradient-kernel trace of workload *key*."""
+    if key not in _trace_cache:
+        _trace_cache[key] = get_workload(key).capture_trace()
+    return _trace_cache[key]
+
+
+def _gpu_by_name(gpu: "str | GPUConfig") -> GPUConfig:
+    if isinstance(gpu, GPUConfig):
+        return gpu
+    return SIMULATED_GPUS[gpu]
+
+
+def get_result(workload: str, gpu: "str | GPUConfig",
+               strategy: str) -> SimResult:
+    """Memoized simulation of one (workload, GPU, strategy) cell."""
+    config = _gpu_by_name(gpu)
+    cache_key = (workload, config.name, strategy)
+    if cache_key not in _result_cache:
+        if strategy not in STRATEGY_FACTORIES:
+            raise KeyError(
+                f"unknown strategy {strategy!r}; "
+                f"choose from {sorted(STRATEGY_FACTORIES)}"
+            )
+        trace = get_trace(workload)
+        _result_cache[cache_key] = simulate_kernel(
+            trace, config, STRATEGY_FACTORIES[strategy]()
+        )
+    return _result_cache[cache_key]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One entry of an experiment matrix."""
+
+    workload: str
+    gpu: str
+    strategy: str
+    result: SimResult
+
+    @property
+    def cycles(self) -> float:
+        return self.result.total_cycles
+
+
+def strategy_applicable(workload: str, strategy: str) -> bool:
+    """SW-B (and thresholded variants) need divergence-free kernels."""
+    if "SW-B" not in strategy:
+        return True
+    return get_trace(workload).bfly_eligible
+
+
+def run_matrix(
+    workloads: "list[str]",
+    strategies: "list[str]",
+    gpus: "list[str | GPUConfig]",
+    skip_inapplicable: bool = True,
+) -> list[Cell]:
+    """Simulate every applicable (workload, strategy, GPU) combination."""
+    cells = []
+    for gpu in gpus:
+        config = _gpu_by_name(gpu)
+        for workload in workloads:
+            for strategy in strategies:
+                if skip_inapplicable and not strategy_applicable(
+                    workload, strategy
+                ):
+                    continue
+                cells.append(
+                    Cell(
+                        workload=workload,
+                        gpu=config.name,
+                        strategy=strategy,
+                        result=get_result(workload, config, strategy),
+                    )
+                )
+    return cells
+
+
+def best_threshold(workload: str, gpu: "str | GPUConfig",
+                   variant: str = "B") -> int:
+    """Best-performing balancing threshold for one workload (§5.5.3).
+
+    This is the offline analogue of the paper's auto-tuner: simulate the
+    kernel at each candidate threshold and keep the fastest.
+    """
+    if variant not in ("B", "S"):
+        raise ValueError("variant must be 'B' or 'S'")
+    best, best_cycles = SWEEP_THRESHOLDS[0], float("inf")
+    for threshold in SWEEP_THRESHOLDS:
+        result = get_result(workload, gpu, f"ARC-SW-{variant}-{threshold}")
+        if result.total_cycles < best_cycles:
+            best, best_cycles = threshold, result.total_cycles
+    return best
+
+
+def best_sw_result(workload: str, gpu: "str | GPUConfig",
+                   variant: str = "B") -> SimResult:
+    """SimResult of the best-threshold ARC-SW variant (the paper's SW-B /
+    SW-S bars report the best-performing threshold, §7)."""
+    threshold = best_threshold(workload, gpu, variant)
+    return get_result(workload, gpu, f"ARC-SW-{variant}-{threshold}")
+
+
+def speedups_over_baseline(cells: "list[Cell]") -> dict:
+    """{(workload, gpu, strategy): speedup} for non-baseline cells."""
+    speedups = {}
+    for cell in cells:
+        if cell.strategy == "baseline":
+            continue
+        baseline = get_result(cell.workload, cell.gpu, "baseline")
+        speedups[(cell.workload, cell.gpu, cell.strategy)] = (
+            cell.result.speedup_over(baseline)
+        )
+    return speedups
+
+
+def arithmetic_mean(values) -> float:
+    """Plain mean (the paper reports arithmetic means of speedups)."""
+    values = list(values)
+    if not values:
+        raise ValueError("no values to average")
+    return sum(values) / len(values)

@@ -1,0 +1,109 @@
+"""Characterization sweeps: where does ARC win, as a function of the
+workload's atomic character?
+
+The paper establishes that ARC's benefit is governed by two trace
+properties -- intra-warp locality (Observation 1) and the active-thread
+distribution (Observation 2) -- plus the GPU's SM:ROP ratio.  This module
+sweeps synthetic traces over those axes and reports the speedup surface,
+so a prospective adopter can locate *their* workload on the map before
+integrating ARC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.arc_hw import ArcHW
+from repro.core.arc_sw import ArcSWButterfly, ArcSWSerialized
+from repro.core.baseline import BaselineAtomic
+from repro.gpu.config import GPUConfig
+from repro.gpu.engine import simulate_kernel
+from repro.gpu.warp import WARP_SIZE
+from repro.trace.events import INACTIVE, KernelTrace
+
+__all__ = ["SweepPoint", "characterization_sweep", "make_character_trace"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the characterization surface."""
+
+    mean_active: float
+    groups_per_warp: int
+    arc_hw_speedup: float
+    arc_sw_speedup: float
+
+
+def make_character_trace(
+    mean_active: float,
+    groups_per_warp: int,
+    n_batches: int = 20_000,
+    n_slots: int = 1024,
+    num_params: int = 9,
+    compute_cycles: float = 120.0,
+    seed: int = 0,
+) -> KernelTrace:
+    """Synthetic trace with controlled Observation-1/2 characteristics.
+
+    ``groups_per_warp = 1`` gives the fully-coalesced rendering regime;
+    larger values scatter each warp's lanes over more addresses (the
+    NvDiffRec and, in the limit, the pagerank regime).
+    """
+    if not 0.0 < mean_active <= WARP_SIZE:
+        raise ValueError("mean_active must be in (0, 32]")
+    if groups_per_warp < 1:
+        raise ValueError("groups_per_warp must be >= 1")
+    rng = np.random.default_rng(seed)
+    active = rng.random((n_batches, WARP_SIZE)) < mean_active / WARP_SIZE
+    group_slots = rng.integers(
+        0, n_slots, size=(n_batches, groups_per_warp)
+    )
+    lane_group = rng.integers(
+        0, groups_per_warp, size=(n_batches, WARP_SIZE)
+    )
+    slots = np.take_along_axis(group_slots, lane_group, axis=1)
+    return KernelTrace(
+        lane_slots=np.where(active, slots, INACTIVE),
+        num_params=num_params,
+        n_slots=n_slots,
+        warp_id=np.arange(n_batches) % max(n_batches // 16, 1),
+        compute_cycles=compute_cycles,
+        bfly_eligible=groups_per_warp == 1,
+        name=f"char-a{mean_active:g}-g{groups_per_warp}",
+    )
+
+
+def characterization_sweep(
+    config: GPUConfig,
+    active_levels: tuple = (4, 8, 16, 24, 31),
+    group_levels: tuple = (1, 2, 4, 8),
+    n_batches: int = 20_000,
+    balance_threshold: int = 8,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Speedup surface over (mean active lanes) x (groups per warp)."""
+    points = []
+    for groups in group_levels:
+        for mean_active in active_levels:
+            trace = make_character_trace(
+                mean_active, groups, n_batches=n_batches, seed=seed
+            )
+            baseline = simulate_kernel(trace, config, BaselineAtomic())
+            arc_hw = simulate_kernel(trace, config, ArcHW())
+            sw_factory = (
+                ArcSWButterfly if trace.bfly_eligible else ArcSWSerialized
+            )
+            arc_sw = simulate_kernel(
+                trace, config, sw_factory(balance_threshold)
+            )
+            points.append(
+                SweepPoint(
+                    mean_active=float(mean_active),
+                    groups_per_warp=int(groups),
+                    arc_hw_speedup=arc_hw.speedup_over(baseline),
+                    arc_sw_speedup=arc_sw.speedup_over(baseline),
+                )
+            )
+    return points

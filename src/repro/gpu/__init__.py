@@ -1,0 +1,33 @@
+"""GPU substrate: configurations, warp primitives, and the timing engine."""
+
+from repro.gpu.config import (
+    RTX3060_SIM,
+    RTX4090_SIM,
+    SIMULATED_GPUS,
+    CostModel,
+    EnergyModel,
+    GPUConfig,
+)
+from repro.gpu.area import area_overhead_fraction, reduction_unit_transistors
+from repro.gpu.cache import CacheReport, gradient_buffer_bytes, l2_report
+from repro.gpu.engine import simulate_kernel
+from repro.gpu.stats import SimResult
+from repro.gpu.warp import FULL_MASK, WARP_SIZE
+
+__all__ = [
+    "CostModel",
+    "EnergyModel",
+    "GPUConfig",
+    "RTX3060_SIM",
+    "RTX4090_SIM",
+    "SIMULATED_GPUS",
+    "SimResult",
+    "simulate_kernel",
+    "area_overhead_fraction",
+    "reduction_unit_transistors",
+    "CacheReport",
+    "gradient_buffer_bytes",
+    "l2_report",
+    "FULL_MASK",
+    "WARP_SIZE",
+]

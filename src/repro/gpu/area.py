@@ -1,0 +1,52 @@
+"""ARC-HW area-overhead model (paper §5.4).
+
+The paper synthesizes the reduction-unit FPU with Yosys and reports it
+under 70K transistors; one FPU per sub-core on an RTX 4090 (128 SMs x 4
+sub-cores) adds ~35.8M transistors, about 0.047% of the GPU's 76 billion.
+This module reproduces that arithmetic for any simulated configuration.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.config import GPUConfig
+
+__all__ = [
+    "TRANSISTORS_PER_FPU",
+    "GPU_TOTAL_TRANSISTORS",
+    "reduction_unit_transistors",
+    "area_overhead_fraction",
+]
+
+#: Yosys-estimated transistor count of one reduction-unit FPU (§5.4).
+TRANSISTORS_PER_FPU = 70_000
+
+#: Published total transistor counts of the modeled GPUs.
+GPU_TOTAL_TRANSISTORS: dict[str, float] = {
+    "4090-Sim": 76.3e9,   # AD102
+    "3060-Sim": 12.0e9,   # GA106
+}
+
+
+def reduction_unit_transistors(config: GPUConfig) -> int:
+    """Total transistors ARC-HW adds: one FPU per sub-core."""
+    return config.num_subcores * TRANSISTORS_PER_FPU
+
+
+def area_overhead_fraction(config: GPUConfig,
+                           total_transistors: float | None = None) -> float:
+    """ARC-HW transistor overhead as a fraction of the whole GPU.
+
+    Uses the published total for known configs; pass *total_transistors*
+    for custom ones.
+    """
+    if total_transistors is None:
+        try:
+            total_transistors = GPU_TOTAL_TRANSISTORS[config.name]
+        except KeyError:
+            raise ValueError(
+                f"no published transistor count for {config.name!r}; "
+                "pass total_transistors explicitly"
+            ) from None
+    if total_transistors <= 0:
+        raise ValueError("total_transistors must be positive")
+    return reduction_unit_transistors(config) / total_transistors

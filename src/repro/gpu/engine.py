@@ -1,0 +1,356 @@
+"""Discrete-event timing engine for the GPU atomic pipeline.
+
+The engine replays a :class:`~repro.trace.events.KernelTrace` through the
+resource topology of Figure 1 in the paper:
+
+* each **sub-core** executes its resident warps' batches in order: gradient
+  math, then the strategy's extra instructions, then memory traffic;
+* the per-SM **LSU queue** has finite depth; a full queue blocks the
+  sub-core (recorded as LSU stall -- the paper's headline bottleneck);
+* accepted transactions cross a bandwidth-limited **interconnect** to a
+  **memory partition**, where a free **ROP unit** serializes the
+  transaction's same-address lane operations;
+* strategy-specific SM-local units (ARC-HW reduction FPUs, LAB SRAM
+  buffers, PHI L1 tag pipelines) are additional serial resources.
+
+The model is cycle-approximate: resources are servers with deterministic
+service times and the event order follows sub-core readiness.  That is
+enough to reproduce the queueing effects the paper measures (who stalls,
+where, and by how much) without modeling a full out-of-order memory system.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.base import AtomicStrategy, BatchView, EngineView, MemRequest
+from repro.gpu.config import GPUConfig
+from repro.gpu.stats import SimResult
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.trace.events import KernelTrace
+
+__all__ = ["simulate_kernel"]
+
+
+class _EngineState(EngineView):
+    """Shared mutable simulation state (also the strategies' EngineView)."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self.now = 0.0
+        self.ic_free = 0.0
+        self.ic_step = 1.0 / config.interconnect_bw
+        # Per-partition min-heaps of ROP-unit free times.
+        self.partitions = [
+            [0.0] * config.rops_per_partition
+            for _ in range(config.num_partitions)
+        ]
+        # Per-SM LSU in-flight completion heaps.
+        self.lsu: list[list[float]] = [[] for _ in range(config.num_sms)]
+        self.lsu_depth = config.lsu_queue_depth
+        # Per-SM local units and per-sub-core reduction units.
+        self.buf_free = np.zeros(config.num_sms)
+        self.l1_free = np.zeros(config.num_sms)
+        self.ru_free = np.zeros(config.num_subcores)
+        # Hot-address serialization at the ROPs.
+        self.slot_free: dict[int, float] = {}
+        self.last_completion = 0.0
+        self.lsu_full_events = 0
+
+    # EngineView ------------------------------------------------------- #
+
+    def lsu_pressure(self, sm: int) -> float:
+        heap = self.lsu[sm]
+        now = self.now
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        return len(heap) / self.lsu_depth
+
+    def ru_backlog(self, subcore: int) -> float:
+        return max(0.0, float(self.ru_free[subcore]) - self.now)
+
+    # Resource helpers -------------------------------------------------- #
+
+    def lsu_admit(self, sm: int, ready: float) -> float:
+        """Earliest time a new request fits in *sm*'s LSU queue."""
+        heap = self.lsu[sm]
+        while heap and heap[0] <= ready:
+            heapq.heappop(heap)
+        if len(heap) < self.lsu_depth:
+            return ready
+        self.lsu_full_events += 1
+        return heapq.heappop(heap)
+
+    def lsu_hold(self, sm: int, until: float) -> None:
+        """Occupy one LSU queue entry of *sm* until *until*."""
+        heapq.heappush(self.lsu[sm], until)
+
+    def service_rop(self, request: MemRequest, accepted: float) -> float:
+        """Route an accepted transaction to its partition's ROPs.
+
+        Returns the completion time.  The transaction's operations occupy
+        one ROP unit for their total service time (aggregate throughput),
+        while the *per-address* dependency chain -- the paper's same-address
+        serialization -- only advances by ``rop_ops / addresses``
+        operations, because operations to a primitive's different
+        parameters hit different addresses and can overlap.
+        """
+        cfg = self.config
+        ic_start = max(accepted, self.ic_free)
+        self.ic_free = ic_start + request.addresses * self.ic_step
+        arrive = ic_start + cfg.cost.interconnect_latency
+
+        rops = self.partitions[request.slot % cfg.num_partitions]
+        unit_free = heapq.heappop(rops)
+        start = max(arrive, unit_free, self.slot_free.get(request.slot, 0.0))
+        service = request.rop_ops * cfg.cost.atomic_service
+        end = start + service
+        heapq.heappush(rops, end)
+        self.slot_free[request.slot] = start + service / request.addresses
+        self.last_completion = max(self.last_completion, end)
+        return end
+
+
+def _route_request(
+    state: _EngineState,
+    stats: SimResult,
+    sm: int,
+    request: MemRequest,
+    ready: float,
+) -> tuple[float, float]:
+    """Send one transaction toward the ROPs.
+
+    Returns ``(admission_time, completion_time)``; the caller decides who
+    (sub-core or reduction unit) absorbs any admission wait.
+    """
+    if request.bypass_lsu:
+        admission = ready
+    else:
+        admission = state.lsu_admit(sm, ready)
+    completion = state.service_rop(request, admission)
+    if not request.bypass_lsu:
+        # The queue entry frees when the ROP retires the transaction; that
+        # coupling is what backs atomic pressure up into the SMs.
+        state.lsu_hold(sm, completion)
+    stats.transactions += request.addresses
+    stats.rop_ops += request.rop_ops
+    stats.rop_busy_cycles += request.rop_ops * state.config.cost.atomic_service
+    return admission, completion
+
+
+def simulate_kernel(
+    trace: KernelTrace,
+    config: GPUConfig,
+    strategy: AtomicStrategy,
+) -> SimResult:
+    """Simulate one gradient-computation kernel launch.
+
+    Parameters
+    ----------
+    trace:
+        The kernel's warp atomic trace (see :mod:`repro.trace.events`).
+    config:
+        Simulated GPU (:data:`~repro.gpu.config.RTX4090_SIM` or similar).
+    strategy:
+        Atomic-handling approach under test.
+
+    Returns
+    -------
+    SimResult
+        Cycle counts, stall attribution, and event tallies.
+    """
+    strategy.begin_kernel(trace, config)
+    state = _EngineState(config)
+    stats = SimResult(
+        strategy=strategy.name, gpu=config.name, trace_name=trace.name
+    )
+    stats.n_batches = trace.n_batches
+    stats.lane_ops = trace.total_lane_ops
+    if trace.n_batches == 0:
+        return stats
+
+    coalesced = trace.coalesced
+    n_subcores = config.num_subcores
+
+    # Group batches by warp, preserving trace (program) order per warp.
+    # Warps are dispatched to sub-cores greedily in first-appearance order,
+    # like the hardware block scheduler: a sub-core that drains its warp
+    # pulls the next pending one.  This is what balances uneven tiles
+    # across the GPU.
+    warp_order: list[int] = []
+    batches_by_warp: dict[int, list[int]] = {}
+    for index, warp in enumerate(trace.warp_id):
+        warp = int(warp)
+        if warp not in batches_by_warp:
+            batches_by_warp[warp] = []
+            warp_order.append(warp)
+        batches_by_warp[warp].append(index)
+    pending_warps = deque(warp_order)
+
+    view = BatchView(0, 0, 0, None, None, trace.num_params, trace.bfly_eligible)
+    cost = config.cost
+    # Plain Python lists: batch-granularity access beats numpy scalars on
+    # the event-loop hot path.
+    compute_per_batch = trace.compute_cycles_per_batch.tolist()
+    subcores_per_sm = config.subcores_per_sm
+    offsets = coalesced.offsets.tolist()
+    group_slots = coalesced.slots.tolist()
+    group_sizes = coalesced.sizes.tolist()
+    sm_last_time = [0.0] * config.num_sms
+
+    # Local accumulators (folded into stats after the loop).
+    acc_compute = 0.0
+    acc_issue = 0.0
+    acc_shuffles = 0
+    acc_lsu_stall = 0.0
+    acc_local_stall = 0.0
+    acc_buffer_ops = 0
+    acc_tag_ops = 0
+    acc_ru_busy = 0.0
+    acc_ru_values = 0
+
+    # Event loop: pop the sub-core that becomes ready earliest, run its next
+    # batch to completion (from the sub-core's point of view), repeat.
+    current_batches: list[list[int]] = [[] for _ in range(n_subcores)]
+    cursors = [0] * n_subcores
+    ready_heap = []
+    for subcore in range(n_subcores):
+        if not pending_warps:
+            break
+        current_batches[subcore] = batches_by_warp[pending_warps.popleft()]
+        ready_heap.append((0.0, subcore))
+    heapq.heapify(ready_heap)
+
+    while ready_heap:
+        t0, subcore = heapq.heappop(ready_heap)
+        index = current_batches[subcore][cursors[subcore]]
+        cursors[subcore] += 1
+        sm = subcore // subcores_per_sm
+
+        state.now = t0
+        lo, hi = offsets[index], offsets[index + 1]
+        view.index = index
+        view.sm = sm
+        view.subcore = subcore
+        view.slots = group_slots[lo:hi]
+        view.sizes = group_sizes[lo:hi]
+        plan = strategy.plan_batch(view, state)
+
+        compute = compute_per_batch[index]
+        t = t0 + compute + plan.issue_cycles
+        acc_compute += compute
+        acc_issue += plan.issue_cycles
+        acc_shuffles += plan.shuffle_ops
+
+        # SM-local buffering (LAB / PHI): the sub-core streams lane values
+        # into a shared per-SM unit and is blocked until it finishes
+        # accepting them.  When the traffic traverses the MIO/LSU path
+        # (local_absorb), a queue entry is held until the local unit starts
+        # servicing the bundle.
+        # LAB SRAM buffer: traffic transits the LSU briefly (the buffer has
+        # its own downstream queue), then serializes at the per-SM buffer.
+        if plan.sm_buffer_ops:
+            if plan.local_absorb:
+                admission = state.lsu_admit(sm, t)
+                acc_lsu_stall += admission - t
+                t = admission
+                state.lsu_hold(sm, admission + cost.lsu_transit)
+            start = max(t, state.buf_free[sm])
+            end = start + plan.sm_buffer_ops * cost.lab_buffer_op
+            state.buf_free[sm] = end
+            acc_local_stall += end - t
+            acc_buffer_ops += plan.sm_buffer_ops
+            t = end
+        # PHI L1 tags: the queue entry is held until the L1 pipeline
+        # finishes the per-lane lookups -- this is how the flood of atomic
+        # requests overwhelms the LSU *before* aggregation (§7.1).
+        if plan.l1_tag_ops:
+            if plan.local_absorb:
+                admission = state.lsu_admit(sm, t)
+                acc_lsu_stall += admission - t
+                t = admission
+            start = max(t, state.l1_free[sm])
+            end = start + plan.l1_tag_ops * cost.phi_tag_op
+            state.l1_free[sm] = end
+            if plan.local_absorb:
+                state.lsu_hold(sm, end)
+            acc_local_stall += end - t
+            acc_tag_ops += plan.l1_tag_ops
+            t = end
+
+        # ARC-HW reduction unit: dedicated serial FPU per sub-core.  The
+        # sub-core hands over the transaction and moves on; only the
+        # reduced request waits for the FPU.
+        ru_done = t
+        if plan.ru_values:
+            ru_start = max(t, state.ru_free[subcore])
+            ru_done = ru_start + plan.ru_values * cost.reduction_unit_op
+            state.ru_free[subcore] = ru_done
+            acc_ru_busy += ru_done - ru_start
+            acc_ru_values += plan.ru_values
+
+        for request in plan.requests:
+            ready = ru_done if request.after_ru else t
+            admission, _ = _route_request(state, stats, sm, request, ready)
+            wait = admission - ready
+            if wait > 0:
+                if request.after_ru:
+                    # The reduction unit holds its result until the LSU
+                    # accepts it; the sub-core itself is not blocked.
+                    state.ru_free[subcore] = max(
+                        state.ru_free[subcore], admission
+                    )
+                else:
+                    acc_lsu_stall += wait
+                    t = max(t, admission)
+
+        if t > sm_last_time[sm]:
+            sm_last_time[sm] = t
+        if cursors[subcore] >= len(current_batches[subcore]):
+            # Warp drained: pull the next pending warp, if any.
+            cursors[subcore] = 0
+            if pending_warps:
+                current_batches[subcore] = batches_by_warp[
+                    pending_warps.popleft()
+                ]
+            else:
+                current_batches[subcore] = []
+        if current_batches[subcore]:
+            heapq.heappush(ready_heap, (t, subcore))
+        else:
+            state.last_completion = max(state.last_completion, t)
+
+    stats.compute_cycles = acc_compute
+    stats.issue_cycles = acc_issue
+    stats.shuffle_ops = acc_shuffles
+    stats.lsu_stall_cycles = acc_lsu_stall
+    stats.local_unit_stall_cycles = acc_local_stall
+    stats.buffer_ops = acc_buffer_ops
+    stats.l1_tag_ops = acc_tag_ops
+    stats.ru_busy_cycles = acc_ru_busy
+    stats.ru_values = acc_ru_values
+
+    # Kernel-exit flush of residual buffered state (LAB / PHI).  No warps
+    # remain to block, so the writeback streams without occupying LSU
+    # entries; draining in SM-completion order keeps the shared
+    # interconnect FIFO causally consistent.
+    flushes = [
+        (float(sm_last_time[sm]), sm, request)
+        for sm, request in strategy.end_kernel(state)
+    ]
+    flushes.sort(key=lambda item: item[0])
+    for ready, sm, request in flushes:
+        _route_request(
+            state, stats, sm, replace(request, bypass_lsu=True), ready
+        )
+
+    stats.total_cycles = state.last_completion
+    stats.lsu_full_events = state.lsu_full_events
+    return stats

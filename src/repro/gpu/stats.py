@@ -1,0 +1,135 @@
+"""Simulation results: cycle counts, stall attribution and event tallies.
+
+The stall taxonomy mirrors what NVIDIA Nsight Compute reports and what the
+paper's Figures 8, 20, 21 and 24 plot: time a warp spends blocked on the
+LSU (the atomic bottleneck), on SM-local atomic units (LAB buffer / PHI
+tags), versus time spent doing useful math and instruction issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.config import GPUConfig
+
+__all__ = ["SimResult"]
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one kernel launch under one strategy."""
+
+    strategy: str
+    gpu: str
+    trace_name: str = ""
+
+    #: Kernel duration: cycle of the last completion anywhere in the GPU.
+    total_cycles: float = 0.0
+    #: Gradient-math cycles across all sub-cores.
+    compute_cycles: float = 0.0
+    #: Instruction-issue cycles added by the atomic strategy.
+    issue_cycles: float = 0.0
+    #: Cycles sub-cores spent blocked on a full LSU queue.
+    lsu_stall_cycles: float = 0.0
+    #: Cycles sub-cores spent blocked on LAB buffer / PHI tag service.
+    local_unit_stall_cycles: float = 0.0
+    #: Busy cycles of the ARC-HW reduction FPUs.
+    ru_busy_cycles: float = 0.0
+    #: Busy cycles summed over all ROP units.
+    rop_busy_cycles: float = 0.0
+
+    n_batches: int = 0
+    #: Per-lane atomic adds the kernel semantically performs.
+    lane_ops: int = 0
+    #: Same-address operations actually serviced by the ROP units.
+    rop_ops: int = 0
+    #: Transactions that crossed the SM<->L2 interconnect.
+    transactions: int = 0
+    #: Warp-wide shuffle instructions (ARC-SW / CCCL).
+    shuffle_ops: int = 0
+    #: Values summed by ARC-HW reduction units.
+    ru_values: int = 0
+    #: Values applied at LAB SRAM buffers.
+    buffer_ops: int = 0
+    #: Values applied at PHI L1 tags.
+    l1_tag_ops: int = 0
+    #: Requests that found the LSU queue full.
+    lsu_full_events: int = 0
+
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def busy_cycles(self) -> float:
+        """Sub-core cycles doing useful work (math plus issue)."""
+        return self.compute_cycles + self.issue_cycles
+
+    @property
+    def stall_cycles(self) -> float:
+        """All sub-core stall cycles regardless of cause."""
+        return self.lsu_stall_cycles + self.local_unit_stall_cycles
+
+    @property
+    def atomic_stall_cycles(self) -> float:
+        """Stalls attributable to atomic processing (Figures 20/21)."""
+        return self.stall_cycles
+
+    @property
+    def instructions(self) -> float:
+        """Estimated dynamic warp instructions (1 issue slot per cycle)."""
+        return max(self.busy_cycles, 1.0)
+
+    @property
+    def stalls_per_instruction(self) -> float:
+        """Mean warp stall cycles per issued instruction (Figures 8/24)."""
+        return self.stall_cycles / self.instructions
+
+    def stall_breakdown(self) -> dict[str, float]:
+        """Fractions of sub-core time per cause; sums to 1."""
+        total = self.busy_cycles + self.stall_cycles
+        if total <= 0:
+            return {"compute": 0.0, "issue": 0.0, "lsu_stall": 0.0,
+                    "local_unit_stall": 0.0}
+        return {
+            "compute": self.compute_cycles / total,
+            "issue": self.issue_cycles / total,
+            "lsu_stall": self.lsu_stall_cycles / total,
+            "local_unit_stall": self.local_unit_stall_cycles / total,
+        }
+
+    def runtime_ms(self, config: GPUConfig) -> float:
+        """Wall-clock duration at the GPU's shader clock."""
+        return config.cycles_to_ms(self.total_cycles)
+
+    def energy_joules(self, config: GPUConfig) -> float:
+        """Activity-based energy estimate (see :class:`EnergyModel`)."""
+        e = config.energy
+        dynamic_pj = (
+            e.issue_pj * self.busy_cycles
+            + e.shuffle_pj * self.shuffle_ops
+            + e.rop_op_pj * self.rop_ops
+            + e.interconnect_flit_pj * self.transactions
+            + e.lab_buffer_pj * self.buffer_ops
+            + e.phi_tag_pj * self.l1_tag_ops
+            + e.reduction_fpu_pj * self.ru_values
+        )
+        seconds = self.total_cycles / (config.clock_ghz * 1e9)
+        return dynamic_pj * 1e-12 + e.static_watts * seconds
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Speedup of *self* relative to *baseline* (same trace and GPU)."""
+        if self.total_cycles <= 0:
+            raise ValueError("cannot compute speedup of an empty simulation")
+        return baseline.total_cycles / self.total_cycles
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.trace_name or 'kernel'} on {self.gpu} [{self.strategy}]: "
+            f"{self.total_cycles:,.0f} cycles, "
+            f"{self.rop_ops:,} ROP ops, "
+            f"{self.stalls_per_instruction:.2f} stalls/instr"
+        )

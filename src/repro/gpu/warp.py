@@ -1,0 +1,82 @@
+"""Warp-level primitives: lane masks and active-thread bookkeeping.
+
+A warp is 32 threads executing in lock-step.  Throughout the simulator a
+warp's *active mask* is a 32-bit integer where bit ``i`` set means lane ``i``
+participates in the current operation, mirroring CUDA's ``__activemask()``
+semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WARP_SIZE",
+    "FULL_MASK",
+    "popcount",
+    "mask_from_lanes",
+    "lanes_from_mask",
+    "mask_from_bools",
+    "bools_from_mask",
+    "lowest_lane",
+]
+
+#: Number of threads in a warp on every NVIDIA GPU generation modeled here.
+WARP_SIZE = 32
+
+#: Mask with all 32 lanes active (CUDA's ``0xffffffff``).
+FULL_MASK = (1 << WARP_SIZE) - 1
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (active lanes) in *mask* -- CUDA's ``__popc``."""
+    if not 0 <= mask <= FULL_MASK:
+        raise ValueError(f"mask {mask:#x} outside 32-bit range")
+    return int(mask).bit_count()
+
+
+def mask_from_lanes(lanes: "list[int] | np.ndarray") -> int:
+    """Build an active mask from an iterable of lane indices."""
+    mask = 0
+    for lane in lanes:
+        lane = int(lane)
+        if not 0 <= lane < WARP_SIZE:
+            raise ValueError(f"lane {lane} outside warp of {WARP_SIZE}")
+        mask |= 1 << lane
+    return mask
+
+
+def lanes_from_mask(mask: int) -> list[int]:
+    """Lane indices set in *mask*, in ascending order."""
+    if not 0 <= mask <= FULL_MASK:
+        raise ValueError(f"mask {mask:#x} outside 32-bit range")
+    return [lane for lane in range(WARP_SIZE) if mask >> lane & 1]
+
+
+def mask_from_bools(active: np.ndarray) -> int:
+    """Active mask from a length-32 boolean array (lane ``i`` = index ``i``)."""
+    active = np.asarray(active, dtype=bool)
+    if active.shape != (WARP_SIZE,):
+        raise ValueError(f"expected shape ({WARP_SIZE},), got {active.shape}")
+    return int(np.packbits(active, bitorder="little").view(np.uint32)[0])
+
+
+def bools_from_mask(mask: int) -> np.ndarray:
+    """Length-32 boolean array from an active mask."""
+    if not 0 <= mask <= FULL_MASK:
+        raise ValueError(f"mask {mask:#x} outside 32-bit range")
+    bits = np.frombuffer(np.uint32(mask).tobytes(), dtype=np.uint8)
+    return np.unpackbits(bits, bitorder="little").astype(bool)
+
+
+def lowest_lane(mask: int) -> int:
+    """Lowest set lane -- the "leader" thread in ARC-SW's serialized path.
+
+    Raises :class:`ValueError` on an empty mask because a leaderless group
+    is a programming error in every caller.
+    """
+    if mask == 0:
+        raise ValueError("empty mask has no leader lane")
+    if not 0 <= mask <= FULL_MASK:
+        raise ValueError(f"mask {mask:#x} outside 32-bit range")
+    return (mask & -mask).bit_length() - 1

@@ -1,0 +1,21 @@
+"""Profiling: training-time breakdowns and warp-stall attribution."""
+
+from repro.profiling.breakdown import (
+    PhaseBreakdown,
+    compute_kernel_cycles,
+    training_breakdown,
+)
+from repro.profiling.stalls import (
+    StallReport,
+    atomic_stall_reduction,
+    stall_report,
+)
+
+__all__ = [
+    "PhaseBreakdown",
+    "compute_kernel_cycles",
+    "training_breakdown",
+    "StallReport",
+    "atomic_stall_reduction",
+    "stall_report",
+]

@@ -1,0 +1,130 @@
+"""Training-time breakdown across pipeline phases (paper Figure 4).
+
+One training iteration has three GPU phases: the forward pass (render an
+image), the loss computation, and the gradient computation.  The gradient
+kernel is the only atomic-bound one; forward and loss are throughput-bound
+compute kernels modeled analytically from their work counts.  The paper
+measures that on the RTX 4090 the gradient step takes 44% of training time
+on average (up to 66% on the large DB-COLMAP scenes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import AtomicStrategy
+from repro.core.baseline import BaselineAtomic
+from repro.gpu.config import GPUConfig
+from repro.gpu.engine import simulate_kernel
+from repro.trace.events import KernelTrace
+
+__all__ = ["PhaseBreakdown", "compute_kernel_cycles", "training_breakdown"]
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Cycles per training-iteration phase on one simulated GPU."""
+
+    workload: str
+    gpu: str
+    forward_cycles: float
+    loss_cycles: float
+    grad_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.forward_cycles + self.loss_cycles + self.grad_cycles
+
+    @property
+    def fractions(self) -> dict[str, float]:
+        """Phase shares of the iteration (sums to 1)."""
+        total = self.total_cycles
+        if total <= 0:
+            return {"forward": 0.0, "loss": 0.0, "grad": 0.0}
+        return {
+            "forward": self.forward_cycles / total,
+            "loss": self.loss_cycles / total,
+            "grad": self.grad_cycles / total,
+        }
+
+    @property
+    def grad_fraction(self) -> float:
+        """Share of the iteration spent in gradient computation."""
+        return self.fractions["grad"]
+
+    def end_to_end_speedup(self, grad_speedup: float) -> float:
+        """Iteration speedup when only the gradient kernel gets faster.
+
+        Amdahl over the three phases: this converts the per-kernel
+        speedups of Figures 18-26 into the end-to-end bars of Figure 22.
+        """
+        if grad_speedup <= 0:
+            raise ValueError("grad_speedup must be positive")
+        accelerated = (
+            self.forward_cycles + self.loss_cycles
+            + self.grad_cycles / grad_speedup
+        )
+        return self.total_cycles / accelerated
+
+
+def compute_kernel_cycles(work_items: float, cycles_per_item: float,
+                          config: GPUConfig) -> float:
+    """Duration of a throughput-bound compute kernel.
+
+    The GPU retires one instruction per sub-core per cycle, so a kernel of
+    ``work_items x cycles_per_item`` instruction-cycles spread over all
+    sub-cores runs for their quotient (forward/loss kernels have ample
+    parallelism; §3 notes the forward pass scales with primitive count).
+    """
+    if work_items < 0 or cycles_per_item < 0:
+        raise ValueError("work and cost must be non-negative")
+    return work_items * cycles_per_item / config.num_subcores
+
+
+def training_breakdown(
+    trace: KernelTrace,
+    forward_pairs: int,
+    n_pixels: int,
+    config: GPUConfig,
+    strategy: AtomicStrategy | None = None,
+    launches: int = 1,
+    loss_channel_cycles: "float | None" = None,
+) -> PhaseBreakdown:
+    """Per-phase cycles of one training iteration.
+
+    Parameters
+    ----------
+    trace:
+        Gradient-kernel trace (possibly concatenating several launches;
+        pass how many in *launches* so forward/loss are scaled to match).
+    forward_pairs:
+        (pixel, primitive) pairs composited by one forward pass.
+    n_pixels:
+        Rendered pixels per iteration.
+    strategy:
+        Atomic strategy for the gradient kernel (baseline by default).
+    loss_channel_cycles:
+        Per-channel loss-kernel cost override (workloads without a D-SSIM
+        term, like NvDiffRec, pass a lighter value).
+    """
+    if launches <= 0:
+        raise ValueError("launches must be positive")
+    cost = config.cost
+    forward = launches * compute_kernel_cycles(
+        forward_pairs, cost.fwd_pair_cycles, config
+    )
+    if loss_channel_cycles is None:
+        loss_channel_cycles = cost.loss_channel_cycles
+    loss = launches * compute_kernel_cycles(
+        n_pixels * 3, loss_channel_cycles, config
+    )
+    grad = simulate_kernel(
+        trace, config, strategy or BaselineAtomic()
+    ).total_cycles
+    return PhaseBreakdown(
+        workload=trace.name,
+        gpu=config.name,
+        forward_cycles=forward,
+        loss_cycles=loss,
+        grad_cycles=grad,
+    )

@@ -1,0 +1,33 @@
+"""Differentiable rendering substrates: 3DGS, Pulsar spheres, NvDiffRec."""
+
+from repro.render.camera import Camera, look_at_rotation, orbit_cameras
+from repro.render.densify import DensificationController, DensifyStats
+from repro.render.gaussians import GaussianScene
+from repro.render.loss import l1_loss, l1_loss_grad, mse, psnr, ssim
+from repro.render.optim import SGD, Adam
+from repro.render.rasterizer import Splats, rasterize, rasterize_backward
+from repro.render.sh import SHGaussianScene, eval_sh_colors, sh_from_rgb
+from repro.render.splatting import GaussianRenderer
+
+__all__ = [
+    "Camera",
+    "look_at_rotation",
+    "orbit_cameras",
+    "GaussianScene",
+    "DensificationController",
+    "DensifyStats",
+    "GaussianRenderer",
+    "SHGaussianScene",
+    "eval_sh_colors",
+    "sh_from_rgb",
+    "Splats",
+    "rasterize",
+    "rasterize_backward",
+    "l1_loss",
+    "l1_loss_grad",
+    "mse",
+    "psnr",
+    "ssim",
+    "SGD",
+    "Adam",
+]

@@ -1,0 +1,152 @@
+"""Pinhole cameras and training viewpoints.
+
+The renderers use a classic pinhole model: world points are transformed to
+camera space with a rigid transform and projected with per-axis focal
+lengths.  ``orbit_cameras`` produces the ring of training viewpoints the
+synthetic datasets use (§6 of the paper trains each scene from many views).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Camera", "look_at_rotation", "orbit_cameras"]
+
+
+def look_at_rotation(position: np.ndarray, target: np.ndarray,
+                     up: np.ndarray | None = None) -> np.ndarray:
+    """World-to-camera rotation for a camera at *position* facing *target*.
+
+    Camera convention: +x right, +y down, +z forward (into the scene).
+    """
+    position = np.asarray(position, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    up = np.array([0.0, 1.0, 0.0]) if up is None else np.asarray(up, float)
+
+    forward = target - position
+    norm = np.linalg.norm(forward)
+    if norm < 1e-12:
+        raise ValueError("camera position and target coincide")
+    forward = forward / norm
+    right = np.cross(up, forward)
+    right_norm = np.linalg.norm(right)
+    if right_norm < 1e-12:
+        raise ValueError("up vector is parallel to the view direction")
+    right = right / right_norm
+    true_up = np.cross(forward, right)
+    return np.stack([right, true_up, forward])
+
+
+@dataclass(frozen=True)
+class Camera:
+    """A pinhole camera with a world-to-camera rigid transform.
+
+    Attributes
+    ----------
+    rotation:
+        (3, 3) world-to-camera rotation.
+    position:
+        Camera center in world coordinates.
+    fx, fy:
+        Focal lengths in pixels.
+    width, height:
+        Image resolution in pixels.
+    """
+
+    rotation: np.ndarray
+    position: np.ndarray
+    fx: float
+    fy: float
+    width: int
+    height: int
+    near: float = 0.05
+
+    def __post_init__(self) -> None:
+        rotation = np.asarray(self.rotation, dtype=np.float64)
+        position = np.asarray(self.position, dtype=np.float64)
+        if rotation.shape != (3, 3):
+            raise ValueError("rotation must be 3x3")
+        if position.shape != (3,):
+            raise ValueError("position must be a 3-vector")
+        if not np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-8):
+            raise ValueError("rotation must be orthonormal")
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("image dimensions must be positive")
+        if self.fx <= 0 or self.fy <= 0:
+            raise ValueError("focal lengths must be positive")
+        object.__setattr__(self, "rotation", rotation)
+        object.__setattr__(self, "position", position)
+
+    @classmethod
+    def looking_at(cls, position, target, fov_degrees: float = 50.0,
+                   width: int = 96, height: int = 96, **kwargs) -> "Camera":
+        """Camera at *position* looking at *target* with a vertical FOV."""
+        rotation = look_at_rotation(position, target)
+        fy = 0.5 * height / np.tan(np.radians(fov_degrees) / 2)
+        fx = fy  # square pixels
+        return cls(rotation=rotation, position=np.asarray(position, float),
+                   fx=fx, fy=fy, width=width, height=height, **kwargs)
+
+    @property
+    def cx(self) -> float:
+        """Principal point x (image center)."""
+        return self.width / 2.0
+
+    @property
+    def cy(self) -> float:
+        """Principal point y (image center)."""
+        return self.height / 2.0
+
+    def world_to_camera(self, points: np.ndarray) -> np.ndarray:
+        """Transform (N, 3) world points to camera space."""
+        points = np.asarray(points, dtype=np.float64)
+        return (points - self.position) @ self.rotation.T
+
+    def project(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Project (N, 3) world points.
+
+        Returns ``(pixels, depths)`` where ``pixels`` is (N, 2); points
+        behind the near plane get non-finite pixels and their depth is
+        still returned so callers can cull on ``depth < near``.
+        """
+        cam = self.world_to_camera(points)
+        depth = cam[:, 2]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x = np.where(depth > self.near, self.fx * cam[:, 0] / depth, np.nan)
+            y = np.where(depth > self.near, self.fy * cam[:, 1] / depth, np.nan)
+        pixels = np.stack([x + self.cx, y + self.cy], axis=1)
+        return pixels, depth
+
+
+def orbit_cameras(
+    n_views: int,
+    radius: float = 4.0,
+    target: np.ndarray | None = None,
+    elevation_degrees: float = 20.0,
+    width: int = 96,
+    height: int = 96,
+    fov_degrees: float = 50.0,
+) -> list[Camera]:
+    """A ring of *n_views* cameras orbiting *target* at fixed elevation."""
+    if n_views <= 0:
+        raise ValueError("n_views must be positive")
+    target = np.zeros(3) if target is None else np.asarray(target, float)
+    elevation = np.radians(elevation_degrees)
+    cameras = []
+    for azimuth in np.linspace(0.0, 2 * np.pi, n_views, endpoint=False):
+        position = target + radius * np.array(
+            [
+                np.cos(elevation) * np.cos(azimuth),
+                -np.sin(elevation),
+                np.cos(elevation) * np.sin(azimuth),
+            ]
+        )
+        cameras.append(
+            Camera.looking_at(
+                position, target, fov_degrees=fov_degrees,
+                width=width, height=height,
+            )
+        )
+    return cameras

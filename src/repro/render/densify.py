@@ -1,0 +1,160 @@
+"""Adaptive density control for Gaussian scenes (the 3DGS training loop).
+
+Real 3DGS training interleaves gradient descent with *densification*:
+Gaussians whose accumulated screen-space gradient is large are either
+**split** (if already big -- the region is under-fitted by a too-coarse
+primitive) or **cloned** (if small -- more primitives are needed), and
+Gaussians whose opacity collapses are **pruned**.  Densification is why
+real scenes grow to millions of primitives -- and therefore why the atomic
+traffic the ARC paper attacks keeps growing during training.
+
+The controller accumulates per-Gaussian gradient norms between
+densification steps, then rewrites the scene arrays.  Optimizer state must
+be reset afterwards (the arrays change length), as in the reference
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.render.gaussians import GaussianScene
+
+__all__ = ["DensifyStats", "DensificationController"]
+
+
+@dataclass(frozen=True)
+class DensifyStats:
+    """What one densification step did."""
+
+    cloned: int
+    split: int
+    pruned: int
+    n_before: int
+    n_after: int
+
+
+class DensificationController:
+    """Split / clone / prune controller for a :class:`GaussianScene`.
+
+    Parameters
+    ----------
+    grad_threshold:
+        Mean accumulated positional-gradient norm above which a Gaussian
+        is densified.
+    scale_threshold:
+        World-space extent separating "clone" (small) from "split" (big).
+    opacity_threshold:
+        Gaussians whose opacity falls below this are pruned.
+    split_factor:
+        Scale shrink applied to the two halves of a split.
+    """
+
+    def __init__(
+        self,
+        grad_threshold: float = 2e-6,
+        scale_threshold: float = 0.05,
+        opacity_threshold: float = 0.02,
+        split_factor: float = 1.6,
+        seed: int = 0,
+    ):
+        if grad_threshold <= 0 or scale_threshold <= 0:
+            raise ValueError("thresholds must be positive")
+        if not 0.0 <= opacity_threshold < 1.0:
+            raise ValueError("opacity_threshold must be in [0, 1)")
+        if split_factor <= 1.0:
+            raise ValueError("split_factor must exceed 1")
+        self.grad_threshold = grad_threshold
+        self.scale_threshold = scale_threshold
+        self.opacity_threshold = opacity_threshold
+        self.split_factor = split_factor
+        self._rng = np.random.default_rng(seed)
+        self._grad_accum: np.ndarray | None = None
+        self._steps = 0
+
+    def accumulate(self, gradients: dict[str, np.ndarray]) -> None:
+        """Record one iteration's positional gradient norms."""
+        norms = np.linalg.norm(gradients["positions"], axis=1)
+        if self._grad_accum is None:
+            self._grad_accum = norms.copy()
+        else:
+            if len(norms) != len(self._grad_accum):
+                raise ValueError(
+                    "gradient length changed; call reset() after densify"
+                )
+            self._grad_accum += norms
+        self._steps += 1
+
+    def reset(self) -> None:
+        """Clear accumulated statistics (after a densification step)."""
+        self._grad_accum = None
+        self._steps = 0
+
+    def densify(self, scene: GaussianScene) -> tuple[GaussianScene, DensifyStats]:
+        """One split/clone/prune pass; returns the new scene and stats."""
+        if self._grad_accum is None or self._steps == 0:
+            raise RuntimeError("no gradients accumulated since last reset")
+        if len(self._grad_accum) != len(scene):
+            raise ValueError("accumulated stats do not match the scene")
+
+        mean_grad = self._grad_accum / self._steps
+        scales = np.exp(scene.log_scales).max(axis=1)
+        opacities = scene.opacities
+
+        keep = opacities >= self.opacity_threshold
+        hot = (mean_grad >= self.grad_threshold) & keep
+        to_split = hot & (scales > self.scale_threshold)
+        to_clone = hot & ~to_split
+
+        clone_idx = np.nonzero(to_clone)[0]
+        split_idx = np.nonzero(to_split)[0]
+
+        # Split parents are replaced by their children; everything else
+        # that survives the opacity prune is kept as-is.
+        kept_mask = keep & ~to_split
+        parts = {name: [value[kept_mask]]
+                 for name, value in scene.parameters().items()}
+
+        def append(indices, positions, log_scales):
+            parts["positions"].append(positions)
+            parts["log_scales"].append(log_scales)
+            parts["quaternions"].append(scene.quaternions[indices])
+            parts["colors"].append(scene.colors[indices])
+            parts["opacity_logits"].append(scene.opacity_logits[indices])
+
+        # Clone: duplicate, nudged along a random offset scaled by size.
+        if len(clone_idx):
+            offsets = self._rng.normal(
+                scale=np.exp(scene.log_scales[clone_idx]),
+                size=(len(clone_idx), 3),
+            )
+            append(clone_idx, scene.positions[clone_idx] + offsets,
+                   scene.log_scales[clone_idx])
+
+        # Split: two shrunken children sampled inside each parent.
+        for _ in range(2 if len(split_idx) else 0):
+            jitter = self._rng.normal(
+                scale=np.exp(scene.log_scales[split_idx]),
+                size=(len(split_idx), 3),
+            )
+            append(split_idx, scene.positions[split_idx] + jitter,
+                   scene.log_scales[split_idx] - np.log(self.split_factor))
+
+        new_scene = GaussianScene(
+            positions=np.concatenate(parts["positions"]),
+            log_scales=np.concatenate(parts["log_scales"]),
+            quaternions=np.concatenate(parts["quaternions"]),
+            colors=np.concatenate(parts["colors"]),
+            opacity_logits=np.concatenate(parts["opacity_logits"]),
+        )
+        stats = DensifyStats(
+            cloned=len(clone_idx),
+            split=len(split_idx),
+            pruned=int((~keep).sum()),
+            n_before=len(scene),
+            n_after=len(new_scene),
+        )
+        self.reset()
+        return new_scene, stats

@@ -1,0 +1,197 @@
+"""3D Gaussian scene model (the 3DGS substrate, Kerbl et al. 2023).
+
+A scene is a set of anisotropic 3D Gaussians, each parameterized by a
+position, per-axis log-scales, an orientation quaternion, an RGB color and
+an opacity logit -- all learnable.  This module provides the parameter
+container plus the covariance construction ``Sigma = R S S^T R^T`` and its
+exact backward pass (needed to chain screen-space gradients to the
+quaternion/scale parameters, as the real 3DGS CUDA kernels do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "GaussianScene",
+    "quat_to_rotation",
+    "quat_rotation_backward",
+    "build_covariance",
+    "covariance_backward",
+]
+
+
+def quat_to_rotation(quats: np.ndarray) -> np.ndarray:
+    """Rotation matrices from (N, 4) quaternions in (w, x, y, z) order.
+
+    Quaternions are normalized internally; gradients through the
+    normalization are handled by :func:`quat_rotation_backward`.
+    """
+    quats = np.asarray(quats, dtype=np.float64)
+    norms = np.linalg.norm(quats, axis=1, keepdims=True)
+    if np.any(norms < 1e-12):
+        raise ValueError("zero-norm quaternion")
+    w, x, y, z = (quats / norms).T
+    rotation = np.empty((len(quats), 3, 3))
+    rotation[:, 0, 0] = 1 - 2 * (y * y + z * z)
+    rotation[:, 0, 1] = 2 * (x * y - w * z)
+    rotation[:, 0, 2] = 2 * (x * z + w * y)
+    rotation[:, 1, 0] = 2 * (x * y + w * z)
+    rotation[:, 1, 1] = 1 - 2 * (x * x + z * z)
+    rotation[:, 1, 2] = 2 * (y * z - w * x)
+    rotation[:, 2, 0] = 2 * (x * z - w * y)
+    rotation[:, 2, 1] = 2 * (y * z + w * x)
+    rotation[:, 2, 2] = 1 - 2 * (x * x + y * y)
+    return rotation
+
+
+def quat_rotation_backward(
+    quats: np.ndarray, grad_rotation: np.ndarray
+) -> np.ndarray:
+    """dL/dquat given dL/dR, including the normalization Jacobian."""
+    quats = np.asarray(quats, dtype=np.float64)
+    norms = np.linalg.norm(quats, axis=1, keepdims=True)
+    unit = quats / norms
+    w, x, y, z = unit.T
+    g = grad_rotation
+
+    # Partials of each R entry w.r.t. the *normalized* quaternion.
+    dw = 2 * (
+        -z * g[:, 0, 1] + y * g[:, 0, 2]
+        + z * g[:, 1, 0] - x * g[:, 1, 2]
+        - y * g[:, 2, 0] + x * g[:, 2, 1]
+    )
+    dx = 2 * (
+        y * g[:, 0, 1] + z * g[:, 0, 2]
+        + y * g[:, 1, 0] - 2 * x * g[:, 1, 1] - w * g[:, 1, 2]
+        + z * g[:, 2, 0] + w * g[:, 2, 1] - 2 * x * g[:, 2, 2]
+    )
+    dy = 2 * (
+        -2 * y * g[:, 0, 0] + x * g[:, 0, 1] + w * g[:, 0, 2]
+        + x * g[:, 1, 0] + z * g[:, 1, 2]
+        - w * g[:, 2, 0] + z * g[:, 2, 1] - 2 * y * g[:, 2, 2]
+    )
+    dz = 2 * (
+        -2 * z * g[:, 0, 0] - w * g[:, 0, 1] + x * g[:, 0, 2]
+        + w * g[:, 1, 0] - 2 * z * g[:, 1, 1] + y * g[:, 1, 2]
+        + x * g[:, 2, 0] + y * g[:, 2, 1]
+    )
+    grad_unit = np.stack([dw, dx, dy, dz], axis=1)
+
+    # Through q_unit = q / |q|: (I - u u^T) / |q|.
+    dot = np.sum(grad_unit * unit, axis=1, keepdims=True)
+    return (grad_unit - dot * unit) / norms
+
+
+def build_covariance(
+    log_scales: np.ndarray, quats: np.ndarray
+) -> np.ndarray:
+    """3D covariances ``Sigma = M M^T`` with ``M = R diag(exp(log_s))``."""
+    scales = np.exp(np.asarray(log_scales, dtype=np.float64))
+    rotation = quat_to_rotation(quats)
+    m = rotation * scales[:, None, :]
+    return m @ m.transpose(0, 2, 1)
+
+
+def covariance_backward(
+    log_scales: np.ndarray,
+    quats: np.ndarray,
+    grad_sigma: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """dL/dlog_scales and dL/dquats from symmetric dL/dSigma (N, 3, 3)."""
+    scales = np.exp(np.asarray(log_scales, dtype=np.float64))
+    rotation = quat_to_rotation(quats)
+    m = rotation * scales[:, None, :]
+    grad_sym = grad_sigma + grad_sigma.transpose(0, 2, 1)
+    grad_m = grad_sym @ m  # d(M M^T)/dM with symmetric upstream
+    grad_scales = np.einsum("nij,nij->nj", rotation, grad_m)
+    grad_log_scales = grad_scales * scales
+    grad_rotation = grad_m * scales[:, None, :]
+    grad_quats = quat_rotation_backward(quats, grad_rotation)
+    return grad_log_scales, grad_quats
+
+
+@dataclass
+class GaussianScene:
+    """Learnable 3D Gaussian scene parameters (all float64 numpy arrays).
+
+    The trace-relevant parameter count per Gaussian during the backward
+    pass is 9 (the values the real 3DGS kernel accumulates atomically):
+    2 for the 2D mean, 3 for the conic, 3 for the color, 1 for opacity.
+    """
+
+    positions: np.ndarray
+    log_scales: np.ndarray
+    quaternions: np.ndarray
+    colors: np.ndarray
+    opacity_logits: np.ndarray
+
+    #: Atomically-accumulated gradient parameters per primitive (§3).
+    ATOMIC_PARAMS = 9
+
+    def __post_init__(self) -> None:
+        n = len(self.positions)
+        arrays = {
+            "positions": (n, 3),
+            "log_scales": (n, 3),
+            "quaternions": (n, 4),
+            "colors": (n, 3),
+            "opacity_logits": (n,),
+        }
+        for name, shape in arrays.items():
+            value = np.ascontiguousarray(getattr(self, name), dtype=np.float64)
+            if value.shape != shape:
+                raise ValueError(f"{name} must have shape {shape}, got {value.shape}")
+            setattr(self, name, value)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    @property
+    def opacities(self) -> np.ndarray:
+        """Opacities in (0, 1) via the sigmoid activation."""
+        return 1.0 / (1.0 + np.exp(-self.opacity_logits))
+
+    def covariances(self) -> np.ndarray:
+        """3D covariance matrix of every Gaussian."""
+        return build_covariance(self.log_scales, self.quaternions)
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        """Named learnable arrays (views, not copies) for optimizers."""
+        return {
+            "positions": self.positions,
+            "log_scales": self.log_scales,
+            "quaternions": self.quaternions,
+            "colors": self.colors,
+            "opacity_logits": self.opacity_logits,
+        }
+
+    def zero_gradients(self) -> dict[str, np.ndarray]:
+        """A fresh gradient buffer per parameter array."""
+        return {name: np.zeros_like(value)
+                for name, value in self.parameters().items()}
+
+    @classmethod
+    def random(
+        cls,
+        n_gaussians: int,
+        extent: float = 1.0,
+        seed: int = 0,
+        base_scale: float = 0.08,
+    ) -> "GaussianScene":
+        """A random cloud of Gaussians inside a cube of half-width *extent*."""
+        if n_gaussians <= 0:
+            raise ValueError("n_gaussians must be positive")
+        rng = np.random.default_rng(seed)
+        quats = rng.standard_normal((n_gaussians, 4))
+        quats /= np.linalg.norm(quats, axis=1, keepdims=True)
+        return cls(
+            positions=rng.uniform(-extent, extent, size=(n_gaussians, 3)),
+            log_scales=np.log(base_scale)
+            + rng.uniform(-0.7, 0.7, size=(n_gaussians, 3)),
+            quaternions=quats,
+            colors=rng.uniform(0.05, 0.95, size=(n_gaussians, 3)),
+            opacity_logits=rng.uniform(0.0, 2.0, size=n_gaussians),
+        )

@@ -1,0 +1,91 @@
+"""Gradient-descent optimizers over named numpy parameter dicts.
+
+The training loops update scene parameters in place, like the PyTorch
+optimizers the real applications use.  Parameters are identified by name so
+per-parameter learning rates (3DGS uses different rates for positions,
+opacities, etc.) are easy to express.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Plain (optionally momentum) stochastic gradient descent."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0,
+                 lr_overrides: dict[str, float] | None = None):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self.lr_overrides = dict(lr_overrides or {})
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self, params: dict[str, np.ndarray],
+             grads: dict[str, np.ndarray]) -> None:
+        """Apply one update in place; missing grads are skipped."""
+        for name, value in params.items():
+            grad = grads.get(name)
+            if grad is None:
+                continue
+            if grad.shape != value.shape:
+                raise ValueError(f"gradient shape mismatch for {name!r}")
+            lr = self.lr_overrides.get(name, self.lr)
+            if self.momentum:
+                velocity = self._velocity.setdefault(
+                    name, np.zeros_like(value)
+                )
+                velocity *= self.momentum
+                velocity -= lr * grad
+                value += velocity
+            else:
+                value -= lr * grad
+
+
+class Adam:
+    """Adam (Kingma & Ba) with per-parameter learning-rate overrides."""
+
+    def __init__(self, lr: float = 0.01, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 lr_overrides: dict[str, float] | None = None):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.lr_overrides = dict(lr_overrides or {})
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._step_count = 0
+
+    def step(self, params: dict[str, np.ndarray],
+             grads: dict[str, np.ndarray]) -> None:
+        """Apply one Adam update in place; missing grads are skipped."""
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1**self._step_count
+        correction2 = 1.0 - self.beta2**self._step_count
+        for name, value in params.items():
+            grad = grads.get(name)
+            if grad is None:
+                continue
+            if grad.shape != value.shape:
+                raise ValueError(f"gradient shape mismatch for {name!r}")
+            m = self._m.setdefault(name, np.zeros_like(value))
+            v = self._v.setdefault(name, np.zeros_like(value))
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad**2
+            lr = self.lr_overrides.get(name, self.lr)
+            value -= lr * (m / correction1) / (
+                np.sqrt(v / correction2) + self.eps
+            )

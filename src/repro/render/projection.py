@@ -1,0 +1,196 @@
+"""EWA projection of 3D Gaussians to screen space, with exact backward.
+
+Forward (per Gaussian, mirroring the 3DGS preprocess kernel):
+
+* camera-space mean ``t = R (p - c)``; cull ``t_z <= near``;
+* 2D mean via pinhole projection;
+* 2D covariance ``cov2d = U Sigma U^T + eps I`` with ``U = J R`` where
+  ``J`` is the local affine (Jacobian) approximation of the projection;
+* conic = cov2d^{-1} and a 3-sigma screen radius for tile binning.
+
+Backward chains the atomically-accumulated screen-space gradients
+(dL/dmean2d, dL/dconic) to dL/dposition, dL/dlog_scale, dL/dquaternion --
+this is the non-atomic per-Gaussian stage of the real pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.render.camera import Camera
+from repro.render.gaussians import GaussianScene, covariance_backward, quat_to_rotation
+
+__all__ = ["ProjectedGaussians", "project_gaussians", "project_backward"]
+
+#: Screen-space dilation added to 2D covariances (same constant as 3DGS).
+EPS_2D = 0.3
+
+
+@dataclass
+class ProjectedGaussians:
+    """Screen-space Gaussians plus the intermediates backward needs."""
+
+    mean2d: np.ndarray        # (N, 2) pixel coordinates
+    depth: np.ndarray         # (N,) camera-space z
+    conic: np.ndarray         # (N, 3) inverse 2D covariance (xx, xy, yy)
+    radius: np.ndarray        # (N,) 3-sigma extent in pixels (0 if culled)
+    valid: np.ndarray         # (N,) bool: in front of the near plane
+    # Intermediates retained for the backward pass:
+    t: np.ndarray             # (N, 3) camera-space means
+    u: np.ndarray             # (N, 2, 3) J @ R
+    cov2d: np.ndarray         # (N, 2, 2)
+    sigma3d: np.ndarray       # (N, 3, 3)
+
+    def __len__(self) -> int:
+        return len(self.mean2d)
+
+
+def project_gaussians(scene: GaussianScene, camera: Camera) -> ProjectedGaussians:
+    """Project every Gaussian of *scene* through *camera*."""
+    t = camera.world_to_camera(scene.positions)
+    depth = t[:, 2]
+    valid = depth > camera.near
+    safe_z = np.where(valid, depth, 1.0)
+
+    mean2d = np.stack(
+        [
+            camera.fx * t[:, 0] / safe_z + camera.cx,
+            camera.fy * t[:, 1] / safe_z + camera.cy,
+        ],
+        axis=1,
+    )
+
+    n = len(scene)
+    jac = np.zeros((n, 2, 3))
+    jac[:, 0, 0] = camera.fx / safe_z
+    jac[:, 0, 2] = -camera.fx * t[:, 0] / safe_z**2
+    jac[:, 1, 1] = camera.fy / safe_z
+    jac[:, 1, 2] = -camera.fy * t[:, 1] / safe_z**2
+    u = jac @ camera.rotation
+
+    sigma3d = scene.covariances()
+    cov2d = u @ sigma3d @ u.transpose(0, 2, 1)
+    cov2d[:, 0, 0] += EPS_2D
+    cov2d[:, 1, 1] += EPS_2D
+
+    det = cov2d[:, 0, 0] * cov2d[:, 1, 1] - cov2d[:, 0, 1] ** 2
+    det = np.maximum(det, 1e-12)
+    conic = np.stack(
+        [
+            cov2d[:, 1, 1] / det,
+            -cov2d[:, 0, 1] / det,
+            cov2d[:, 0, 0] / det,
+        ],
+        axis=1,
+    )
+
+    mid = 0.5 * (cov2d[:, 0, 0] + cov2d[:, 1, 1])
+    eig_max = mid + np.sqrt(np.maximum(mid**2 - det, 0.0))
+    radius = np.where(valid, np.ceil(3.0 * np.sqrt(eig_max)), 0.0)
+
+    mean2d = np.where(valid[:, None], mean2d, 0.0)
+    return ProjectedGaussians(
+        mean2d=mean2d,
+        depth=depth,
+        conic=conic,
+        radius=radius,
+        valid=valid,
+        t=t,
+        u=u,
+        cov2d=cov2d,
+        sigma3d=sigma3d,
+    )
+
+
+def project_backward(
+    scene: GaussianScene,
+    camera: Camera,
+    projected: ProjectedGaussians,
+    grad_mean2d: np.ndarray,
+    grad_conic: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Chain screen-space gradients back to the 3D scene parameters.
+
+    Parameters
+    ----------
+    grad_mean2d:
+        (N, 2) accumulated dL/d(2D mean).
+    grad_conic:
+        (N, 3) accumulated dL/d(conic xx, xy, yy).
+
+    Returns
+    -------
+    dict with ``positions``, ``log_scales``, ``quaternions`` gradient
+    arrays.  Culled Gaussians receive zero gradients.
+    """
+    n = len(scene)
+    valid = projected.valid
+    grad_mean2d = np.where(valid[:, None], grad_mean2d, 0.0)
+    grad_conic = np.where(valid[:, None], grad_conic, 0.0)
+
+    # --- conic -> cov2d (inverse of a symmetric 2x2) --------------------
+    conic_mat = np.empty((n, 2, 2))
+    conic_mat[:, 0, 0] = projected.conic[:, 0]
+    conic_mat[:, 0, 1] = conic_mat[:, 1, 0] = projected.conic[:, 1]
+    conic_mat[:, 1, 1] = projected.conic[:, 2]
+    grad_conic_mat = np.empty((n, 2, 2))
+    grad_conic_mat[:, 0, 0] = grad_conic[:, 0]
+    grad_conic_mat[:, 0, 1] = grad_conic_mat[:, 1, 0] = grad_conic[:, 1] / 2
+    grad_conic_mat[:, 1, 1] = grad_conic[:, 2]
+    grad_cov2d = -conic_mat @ grad_conic_mat @ conic_mat
+
+    # --- cov2d = U Sigma U^T + eps I ------------------------------------
+    u = projected.u
+    sigma3d = projected.sigma3d
+    grad_cov2d_sym = grad_cov2d + grad_cov2d.transpose(0, 2, 1)
+    grad_u = grad_cov2d_sym @ u @ sigma3d
+    grad_sigma3d = u.transpose(0, 2, 1) @ grad_cov2d @ u
+
+    # --- U = J R: gradients w.r.t. the projection Jacobian --------------
+    grad_jac = grad_u @ camera.rotation.T
+
+    # --- J and mean2d depend on the camera-space mean t -----------------
+    t = projected.t
+    safe_z = np.where(valid, t[:, 2], 1.0)
+    fx, fy = camera.fx, camera.fy
+    inv_z = 1.0 / safe_z
+    inv_z2 = inv_z**2
+    inv_z3 = inv_z2 * inv_z
+
+    grad_t = np.zeros((n, 3))
+    # mean2d path: x = fx tx/tz + cx, y = fy ty/tz + cy.
+    grad_t[:, 0] += grad_mean2d[:, 0] * fx * inv_z
+    grad_t[:, 1] += grad_mean2d[:, 1] * fy * inv_z
+    grad_t[:, 2] += (
+        -grad_mean2d[:, 0] * fx * t[:, 0] * inv_z2
+        - grad_mean2d[:, 1] * fy * t[:, 1] * inv_z2
+    )
+    # J path: J00 = fx/tz, J02 = -fx tx/tz^2, J11 = fy/tz, J12 = -fy ty/tz^2.
+    grad_t[:, 0] += grad_jac[:, 0, 2] * (-fx * inv_z2)
+    grad_t[:, 1] += grad_jac[:, 1, 2] * (-fy * inv_z2)
+    grad_t[:, 2] += (
+        grad_jac[:, 0, 0] * (-fx * inv_z2)
+        + grad_jac[:, 0, 2] * (2 * fx * t[:, 0] * inv_z3)
+        + grad_jac[:, 1, 1] * (-fy * inv_z2)
+        + grad_jac[:, 1, 2] * (2 * fy * t[:, 1] * inv_z3)
+    )
+
+    # --- t = R (p - c) ---------------------------------------------------
+    grad_positions = grad_t @ camera.rotation
+
+    # --- Sigma3 -> scales and quaternions --------------------------------
+    grad_log_scales, grad_quats = covariance_backward(
+        scene.log_scales, scene.quaternions, grad_sigma3d
+    )
+
+    invalid = ~valid
+    grad_positions[invalid] = 0.0
+    grad_log_scales[invalid] = 0.0
+    grad_quats[invalid] = 0.0
+    return {
+        "positions": grad_positions,
+        "log_scales": grad_log_scales,
+        "quaternions": grad_quats,
+    }

@@ -1,0 +1,160 @@
+"""Degree-1 spherical-harmonics color for Gaussian scenes.
+
+Real 3DGS stores view-dependent color as spherical-harmonics coefficients
+per Gaussian and evaluates them along the camera→Gaussian direction each
+frame.  This module implements the degree-1 band (4 coefficients per
+channel -- the dominant appearance terms) with the reference
+implementation's constants and conventions, including the exact backward
+pass to both the coefficients and the viewing direction (and through the
+direction's normalization to the Gaussian position).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.render.gaussians import GaussianScene
+
+__all__ = [
+    "SH_C0",
+    "SH_C1",
+    "N_SH_COEFFS",
+    "SHGaussianScene",
+    "eval_sh_colors",
+    "eval_sh_backward",
+    "sh_from_rgb",
+]
+
+#: Band-0 (constant) basis coefficient, as in the 3DGS reference code.
+SH_C0 = 0.28209479177387814
+#: Band-1 basis coefficient.
+SH_C1 = 0.4886025119029199
+#: Coefficients per color channel at degree 1.
+N_SH_COEFFS = 4
+
+
+def sh_from_rgb(colors: np.ndarray) -> np.ndarray:
+    """Degree-1 coefficients whose evaluation equals a constant *colors*.
+
+    The inverse of the band-0 term: ``(rgb - 0.5) / SH_C0`` in the first
+    coefficient, zeros in the direction-dependent band.
+    """
+    colors = np.asarray(colors, dtype=np.float64)
+    if colors.ndim != 2 or colors.shape[1] != 3:
+        raise ValueError("colors must be (N, 3)")
+    coeffs = np.zeros((len(colors), N_SH_COEFFS, 3))
+    coeffs[:, 0, :] = (colors - 0.5) / SH_C0
+    return coeffs
+
+
+def _directions(positions: np.ndarray, camera_position: np.ndarray):
+    deltas = positions - camera_position
+    norms = np.linalg.norm(deltas, axis=1, keepdims=True)
+    norms = np.maximum(norms, 1e-12)
+    return deltas / norms, norms
+
+
+def eval_sh_colors(
+    coeffs: np.ndarray,
+    positions: np.ndarray,
+    camera_position: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate degree-1 SH along the camera→Gaussian directions.
+
+    Follows the 3DGS reference:
+    ``c = SH_C0*sh0 - SH_C1*(y*sh1) + SH_C1*(z*sh2) - SH_C1*(x*sh3)``
+    followed by a ``+0.5`` shift and clamping at zero.
+
+    Returns ``(colors, pre_clamp)``; the pre-clamp values are needed by
+    the backward pass (the clamp gates gradients).
+    """
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    if coeffs.ndim != 3 or coeffs.shape[1:] != (N_SH_COEFFS, 3):
+        raise ValueError(f"coeffs must be (N, {N_SH_COEFFS}, 3)")
+    dirs, _ = _directions(positions, camera_position)
+    x, y, z = dirs[:, 0:1], dirs[:, 1:2], dirs[:, 2:3]
+    pre_clamp = (
+        SH_C0 * coeffs[:, 0]
+        - SH_C1 * y * coeffs[:, 1]
+        + SH_C1 * z * coeffs[:, 2]
+        - SH_C1 * x * coeffs[:, 3]
+        + 0.5
+    )
+    return np.maximum(pre_clamp, 0.0), pre_clamp
+
+
+def eval_sh_backward(
+    coeffs: np.ndarray,
+    positions: np.ndarray,
+    camera_position: np.ndarray,
+    pre_clamp: np.ndarray,
+    grad_colors: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """dL/dcoeffs and dL/dpositions for :func:`eval_sh_colors`."""
+    dirs, norms = _directions(positions, camera_position)
+    gated = np.where(pre_clamp > 0.0, grad_colors, 0.0)  # clamp gate
+
+    x, y, z = dirs[:, 0:1], dirs[:, 1:2], dirs[:, 2:3]
+    grad_coeffs = np.empty_like(np.asarray(coeffs, dtype=np.float64))
+    grad_coeffs[:, 0] = SH_C0 * gated
+    grad_coeffs[:, 1] = -SH_C1 * y * gated
+    grad_coeffs[:, 2] = SH_C1 * z * gated
+    grad_coeffs[:, 3] = -SH_C1 * x * gated
+
+    # d(color)/d(dir): the band-1 terms are linear in the direction.
+    grad_dir = np.stack(
+        [
+            -SH_C1 * np.sum(coeffs[:, 3] * gated, axis=1),
+            -SH_C1 * np.sum(coeffs[:, 1] * gated, axis=1),
+            SH_C1 * np.sum(coeffs[:, 2] * gated, axis=1),
+        ],
+        axis=1,
+    )
+    # Through dir = delta / |delta|: (I - dir dir^T) / |delta|.
+    dot = np.sum(grad_dir * dirs, axis=1, keepdims=True)
+    grad_positions = (grad_dir - dot * dirs) / norms
+    return grad_coeffs, grad_positions
+
+
+@dataclass
+class SHGaussianScene(GaussianScene):
+    """Gaussian scene with view-dependent (degree-1 SH) color.
+
+    The inherited ``colors`` array becomes a derived per-view quantity;
+    the learnable appearance parameters are ``sh_coeffs`` of shape
+    ``(N, 4, 3)``.
+    """
+
+    sh_coeffs: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.sh_coeffs is None:
+            self.sh_coeffs = sh_from_rgb(self.colors)
+        sh_coeffs = np.ascontiguousarray(self.sh_coeffs, dtype=np.float64)
+        if sh_coeffs.shape != (len(self), N_SH_COEFFS, 3):
+            raise ValueError(
+                f"sh_coeffs must be ({len(self)}, {N_SH_COEFFS}, 3)"
+            )
+        self.sh_coeffs = sh_coeffs
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        """Learnable arrays: SH coefficients replace the static colors."""
+        params = super().parameters()
+        del params["colors"]
+        params["sh_coeffs"] = self.sh_coeffs
+        return params
+
+    @classmethod
+    def from_scene(cls, scene: GaussianScene) -> "SHGaussianScene":
+        """Wrap a static-color scene; SH band 0 reproduces its colors."""
+        return cls(
+            positions=scene.positions.copy(),
+            log_scales=scene.log_scales.copy(),
+            quaternions=scene.quaternions.copy(),
+            colors=scene.colors.copy(),
+            opacity_logits=scene.opacity_logits.copy(),
+            sh_coeffs=sh_from_rgb(scene.colors),
+        )

@@ -1,0 +1,31 @@
+"""Atomic traces: events, capture from renderers, analysis, synthesis."""
+
+from repro.trace.capture import (
+    pixel_to_warp_lane,
+    trace_from_scatter,
+    trace_from_tiled_image,
+)
+from repro.trace.io import load_trace, save_trace
+from repro.trace.events import INACTIVE, CoalescedTrace, KernelTrace, coalesce_trace
+from repro.trace.synthetic import (
+    coalesced_trace,
+    hotspot_trace,
+    mixed_locality_trace,
+    scattered_trace,
+)
+
+__all__ = [
+    "INACTIVE",
+    "CoalescedTrace",
+    "KernelTrace",
+    "coalesce_trace",
+    "load_trace",
+    "save_trace",
+    "pixel_to_warp_lane",
+    "trace_from_scatter",
+    "trace_from_tiled_image",
+    "coalesced_trace",
+    "hotspot_trace",
+    "mixed_locality_trace",
+    "scattered_trace",
+]

@@ -1,0 +1,86 @@
+"""Trace analysis: the paper's two motivating observations, quantified.
+
+* **Observation 1** (§3.1): in differentiable rendering, nearly all warps
+  have *all* their active threads atomically update the same memory
+  location (>99% for 3D-PL in the paper).  :func:`intra_warp_locality`
+  measures that fraction.
+* **Observation 2** (§3.1, Figure 7): the number of threads per warp that
+  participate in a gradient update varies widely because of dynamic
+  conditions.  :func:`active_thread_histogram` reproduces the Figure 7
+  histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.warp import WARP_SIZE
+from repro.trace.events import KernelTrace
+
+__all__ = [
+    "TraceProfile",
+    "intra_warp_locality",
+    "active_thread_histogram",
+    "profile_trace",
+]
+
+
+def intra_warp_locality(trace: KernelTrace) -> float:
+    """Fraction of non-empty warp batches whose active lanes all share
+    one destination (Observation 1)."""
+    coalesced = trace.coalesced
+    groups_per_batch = np.diff(coalesced.offsets)
+    non_empty = groups_per_batch > 0
+    if not non_empty.any():
+        return 0.0
+    return float((groups_per_batch[non_empty] == 1).mean())
+
+
+def active_thread_histogram(trace: KernelTrace) -> np.ndarray:
+    """(33,) histogram of active lanes per batch (Observation 2, Fig 7).
+
+    Index ``k`` counts batches in which exactly ``k`` lanes issued atomic
+    updates; index 0 counts fully-predicated-off batches.
+    """
+    counts = trace.active_lane_counts
+    return np.bincount(counts, minlength=WARP_SIZE + 1)
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary statistics of one kernel trace."""
+
+    name: str
+    n_batches: int
+    num_params: int
+    lane_ops: int
+    locality: float
+    mean_active: float
+    mean_groups: float
+    histogram: np.ndarray
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name or 'trace'}: {self.n_batches} batches, "
+            f"{self.lane_ops} lane-ops, locality={self.locality:.1%}, "
+            f"mean active={self.mean_active:.1f}, "
+            f"mean groups={self.mean_groups:.2f}"
+        )
+
+
+def profile_trace(trace: KernelTrace) -> TraceProfile:
+    """Compute the full :class:`TraceProfile` of *trace*."""
+    groups_per_batch = np.diff(trace.coalesced.offsets)
+    active = trace.active_lane_counts
+    return TraceProfile(
+        name=trace.name,
+        n_batches=trace.n_batches,
+        num_params=trace.num_params,
+        lane_ops=trace.total_lane_ops,
+        locality=intra_warp_locality(trace),
+        mean_active=float(active.mean()) if len(active) else 0.0,
+        mean_groups=float(groups_per_batch.mean()) if len(groups_per_batch) else 0.0,
+        histogram=active_thread_histogram(trace),
+    )

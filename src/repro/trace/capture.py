@@ -1,0 +1,129 @@
+"""Generic trace capture: turn any scatter-add workload into a trace.
+
+The renderers build their traces directly; this module provides the same
+machinery for arbitrary workloads -- map your parallel work items to GPU
+threads, group them into warps with the standard CUDA conventions, and get
+a :class:`~repro.trace.events.KernelTrace` the simulator (and every ARC
+strategy) can consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.warp import WARP_SIZE
+from repro.trace.events import INACTIVE, KernelTrace
+
+__all__ = [
+    "trace_from_scatter",
+    "trace_from_tiled_image",
+    "pixel_to_warp_lane",
+]
+
+
+def trace_from_scatter(
+    destinations: np.ndarray,
+    n_slots: int,
+    num_params: int = 1,
+    values: np.ndarray | None = None,
+    compute_cycles: float = 20.0,
+    bfly_eligible: bool = False,
+    name: str = "scatter",
+) -> KernelTrace:
+    """Trace of a flat scatter-add kernel (one thread per element).
+
+    ``destinations[i]`` is the slot thread ``i`` atomically updates, or
+    :data:`INACTIVE` for masked-out threads.  Threads are packed into warps
+    of 32 in order, mirroring a 1D CUDA launch.
+    """
+    destinations = np.ascontiguousarray(destinations, dtype=np.int64)
+    if destinations.ndim != 1:
+        raise ValueError("destinations must be a flat array")
+    n_threads = len(destinations)
+    n_batches = (n_threads + WARP_SIZE - 1) // WARP_SIZE
+
+    padded = np.full(n_batches * WARP_SIZE, INACTIVE, dtype=np.int64)
+    padded[:n_threads] = destinations
+    lane_slots = padded.reshape(n_batches, WARP_SIZE)
+
+    packed_values = None
+    if values is not None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (n_threads, num_params):
+            raise ValueError(
+                f"values must have shape ({n_threads}, {num_params})"
+            )
+        packed = np.zeros((n_batches * WARP_SIZE, num_params))
+        packed[:n_threads] = values
+        packed_values = packed.reshape(n_batches, WARP_SIZE, num_params)
+
+    return KernelTrace(
+        lane_slots=lane_slots,
+        num_params=num_params,
+        n_slots=n_slots,
+        compute_cycles=compute_cycles,
+        values=packed_values,
+        bfly_eligible=bfly_eligible,
+        name=name,
+    )
+
+
+def pixel_to_warp_lane(
+    x: np.ndarray, y: np.ndarray, width: int, tile: int = 16
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map pixel coordinates to (warp id, lane) with CUDA tile layout.
+
+    Pixels form ``tile x tile`` thread blocks; the block's row-major thread
+    id splits into warps of 32 (two 16-pixel rows per warp for the default
+    tile size) -- the layout 3DGS and our rasterizer use.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if width % tile:
+        raise ValueError("width must be a multiple of the tile size")
+    tiles_x = width // tile
+    tile_index = (y // tile) * tiles_x + (x // tile)
+    thread = (y % tile) * tile + (x % tile)
+    warps_per_tile = tile * tile // WARP_SIZE
+    warp = tile_index * warps_per_tile + thread // WARP_SIZE
+    return warp.astype(np.int64), (thread % WARP_SIZE).astype(np.int64)
+
+
+def trace_from_tiled_image(
+    destinations: np.ndarray,
+    n_slots: int,
+    num_params: int = 1,
+    tile: int = 16,
+    compute_cycles: float = 20.0,
+    bfly_eligible: bool = False,
+    name: str = "image-scatter",
+) -> KernelTrace:
+    """Trace of a per-pixel scatter with the tiled thread layout.
+
+    ``destinations`` is an ``(H, W)`` array of slots (or :data:`INACTIVE`).
+    Each pixel issues ``num_params`` atomics to its slot; warps follow the
+    16x16-tile CUDA layout, so the trace exhibits whatever spatial locality
+    the destination image has -- exactly how rendering workloads acquire
+    their intra-warp locality.
+    """
+    destinations = np.asarray(destinations, dtype=np.int64)
+    if destinations.ndim != 2:
+        raise ValueError("destinations must be (H, W)")
+    height, width = destinations.shape
+    if height % tile or width % tile:
+        raise ValueError(f"image must be a multiple of {tile} pixels")
+
+    ys, xs = np.meshgrid(np.arange(height), np.arange(width), indexing="ij")
+    warps, lanes = pixel_to_warp_lane(xs.ravel(), ys.ravel(), width, tile)
+    n_warps = int(warps.max()) + 1
+    lane_slots = np.full((n_warps, WARP_SIZE), INACTIVE, dtype=np.int64)
+    lane_slots[warps, lanes] = destinations.ravel()
+    return KernelTrace(
+        lane_slots=lane_slots,
+        num_params=num_params,
+        n_slots=n_slots,
+        warp_id=np.arange(n_warps),
+        compute_cycles=compute_cycles,
+        bfly_eligible=bfly_eligible,
+        name=name,
+    )

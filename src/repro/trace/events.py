@@ -1,0 +1,258 @@
+"""Kernel atomic traces: the interface between workloads and the simulator.
+
+A *kernel trace* records, for one launch of a gradient-computation kernel,
+every warp loop iteration that may issue atomic adds (Figure 5 of the
+paper).  Each record ("warp batch") stores, per lane, the *slot* the lane
+atomically updates.  A slot identifies one primitive's gradient record; the
+lane issues ``num_params`` atomic adds to consecutive addresses inside that
+slot (``p.grad_x1 .. p.grad_xN`` in the paper's pseudo-code).  Lanes made
+inactive by the kernel's dynamic conditions carry slot ``-1``.
+
+Traces are stored struct-of-arrays so that analysis (Observations 1 and 2)
+and strategy planning are vectorizable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.gpu.warp import WARP_SIZE
+
+__all__ = ["INACTIVE", "KernelTrace", "CoalescedTrace", "coalesce_trace"]
+
+#: Lane-slot value marking a lane that does not issue atomics this iteration.
+INACTIVE = -1
+
+
+@dataclass(frozen=True)
+class CoalescedTrace:
+    """Address-coalescing result for a whole trace.
+
+    This mirrors what the SM address-coalescing unit produces per warp
+    instruction: the lanes of each batch grouped by destination slot.  Group
+    ``g`` spans ``[offsets[b], offsets[b+1])`` for its batch ``b``.
+    """
+
+    #: (n_batches + 1,) start offset of each batch's groups.
+    offsets: np.ndarray
+    #: (n_groups,) destination slot per group.
+    slots: np.ndarray
+    #: (n_groups,) active-lane count per group.
+    sizes: np.ndarray
+    #: (n_groups,) 32-bit lane mask per group.
+    masks: np.ndarray
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.slots)
+
+    def groups_of(self, batch: int) -> slice:
+        """Index range of *batch*'s groups in the flat group arrays."""
+        return slice(int(self.offsets[batch]), int(self.offsets[batch + 1]))
+
+
+@dataclass(frozen=True)
+class KernelTrace:
+    """One kernel launch worth of warp atomic batches.
+
+    Parameters
+    ----------
+    lane_slots:
+        ``(n_batches, 32)`` int array; entry ``[b, l]`` is the slot lane
+        ``l`` updates during batch ``b``, or :data:`INACTIVE`.
+    num_params:
+        Atomic adds each active lane issues per batch (one per learned
+        parameter of the primitive).
+    n_slots:
+        Size of the gradient buffer in slots; all slot ids must be below it.
+    warp_id:
+        ``(n_batches,)`` hardware warp of each batch.  Batches of one warp
+        execute in trace order on the same sub-core.  Defaults to one warp
+        per batch.
+    compute_cycles:
+        Gradient-math cycles charged at the sub-core before the batch's
+        atomics (the paper's "gradient computation is done here" region).
+        Either one scalar for every batch or a per-batch array -- warps
+        whose lanes all fail the early-out conditions only pay the check,
+        not the full gradient math.
+    values:
+        Optional ``(n_batches, 32, num_params)`` float array of the actual
+        gradient contributions, used for functional verification.
+    bfly_eligible:
+        Whether the kernel admits the Figure 17 code transformation that
+        ARC-SW butterfly reduction requires (False for Pulsar, per §7.2).
+    """
+
+    lane_slots: np.ndarray
+    num_params: int
+    n_slots: int
+    warp_id: np.ndarray = None  # type: ignore[assignment]
+    compute_cycles: "float | np.ndarray" = 120.0
+    values: np.ndarray | None = None
+    bfly_eligible: bool = True
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        lane_slots = np.ascontiguousarray(self.lane_slots, dtype=np.int32)
+        if lane_slots.ndim != 2 or lane_slots.shape[1] != WARP_SIZE:
+            raise ValueError(
+                f"lane_slots must be (n, {WARP_SIZE}), got {lane_slots.shape}"
+            )
+        if self.num_params <= 0:
+            raise ValueError("num_params must be positive")
+        if self.n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if lane_slots.size and lane_slots.max(initial=INACTIVE) >= self.n_slots:
+            raise ValueError("lane_slots contains slot >= n_slots")
+        if lane_slots.size and lane_slots.min(initial=INACTIVE) < INACTIVE:
+            raise ValueError("lane_slots below -1 are invalid")
+        object.__setattr__(self, "lane_slots", lane_slots)
+
+        warp_id = self.warp_id
+        if warp_id is None:
+            warp_id = np.arange(len(lane_slots), dtype=np.int64)
+        else:
+            warp_id = np.ascontiguousarray(warp_id, dtype=np.int64)
+            if warp_id.shape != (len(lane_slots),):
+                raise ValueError("warp_id must be one entry per batch")
+            if warp_id.size and warp_id.min() < 0:
+                raise ValueError("warp_id must be non-negative")
+        object.__setattr__(self, "warp_id", warp_id)
+
+        if self.values is not None:
+            values = np.ascontiguousarray(self.values, dtype=np.float64)
+            expected = (len(lane_slots), WARP_SIZE, self.num_params)
+            if values.shape != expected:
+                raise ValueError(
+                    f"values must have shape {expected}, got {values.shape}"
+                )
+            object.__setattr__(self, "values", values)
+        compute = self.compute_cycles
+        if np.ndim(compute) == 0:
+            if compute < 0:
+                raise ValueError("compute_cycles must be non-negative")
+        else:
+            compute = np.ascontiguousarray(compute, dtype=np.float64)
+            if compute.shape != (len(lane_slots),):
+                raise ValueError(
+                    "per-batch compute_cycles must have one entry per batch"
+                )
+            if compute.size and compute.min() < 0:
+                raise ValueError("compute_cycles must be non-negative")
+            object.__setattr__(self, "compute_cycles", compute)
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.lane_slots)
+
+    @property
+    def active_lane_counts(self) -> np.ndarray:
+        """(n_batches,) number of active lanes per batch (Observation 2)."""
+        return (self.lane_slots != INACTIVE).sum(axis=1)
+
+    @property
+    def compute_cycles_per_batch(self) -> np.ndarray:
+        """(n_batches,) gradient-math cycles, broadcasting a scalar."""
+        if np.ndim(self.compute_cycles) == 0:
+            return np.full(self.n_batches, float(self.compute_cycles))
+        return self.compute_cycles
+
+    @property
+    def total_lane_ops(self) -> int:
+        """Total per-lane atomic adds the kernel issues (all params)."""
+        return int(self.active_lane_counts.sum()) * self.num_params
+
+    @cached_property
+    def coalesced(self) -> CoalescedTrace:
+        """Cached address-coalescing of every batch (see module docs)."""
+        return coalesce_trace(self.lane_slots)
+
+    def reference_sums(self) -> np.ndarray:
+        """Dense scatter-add of :attr:`values` -- the ground-truth gradient.
+
+        This is what any correct atomic strategy must reproduce (up to
+        floating-point reassociation).  Requires the trace to carry values.
+        """
+        if self.values is None:
+            raise ValueError("trace carries no values; capture with values=True")
+        sums = np.zeros((self.n_slots, self.num_params), dtype=np.float64)
+        active = self.lane_slots != INACTIVE
+        batch_idx, lane_idx = np.nonzero(active)
+        slots = self.lane_slots[batch_idx, lane_idx]
+        np.add.at(sums, slots, self.values[batch_idx, lane_idx])
+        return sums
+
+    def subsample(self, n: int, seed: int = 0) -> "KernelTrace":
+        """Random subset of *n* batches (for fast functional tests)."""
+        if n >= self.n_batches:
+            return self
+        rng = np.random.default_rng(seed)
+        pick = np.sort(rng.choice(self.n_batches, size=n, replace=False))
+        compute = self.compute_cycles
+        if np.ndim(compute) != 0:
+            compute = compute[pick]
+        return KernelTrace(
+            lane_slots=self.lane_slots[pick],
+            num_params=self.num_params,
+            n_slots=self.n_slots,
+            warp_id=self.warp_id[pick],
+            compute_cycles=compute,
+            values=None if self.values is None else self.values[pick],
+            bfly_eligible=self.bfly_eligible,
+            name=f"{self.name}[sub{n}]" if self.name else "",
+        )
+
+
+def coalesce_trace(lane_slots: np.ndarray) -> CoalescedTrace:
+    """Group every batch's lanes by destination slot, vectorized.
+
+    Equivalent to running the SM address-coalescing unit over each warp
+    atomic instruction: lanes with a common destination form one *atomic
+    transaction* whose same-address lane operations the ROP unit serializes.
+    """
+    lane_slots = np.asarray(lane_slots, dtype=np.int64)
+    n_batches = len(lane_slots)
+    if n_batches == 0:
+        empty_i = np.zeros(0, dtype=np.int64)
+        return CoalescedTrace(
+            offsets=np.zeros(1, dtype=np.int64),
+            slots=empty_i,
+            sizes=empty_i.copy(),
+            masks=np.zeros(0, dtype=np.uint64),
+        )
+
+    order = np.argsort(lane_slots, axis=1, kind="stable")
+    sorted_slots = np.take_along_axis(lane_slots, order, axis=1)
+    valid = sorted_slots != INACTIVE
+    is_first = np.zeros_like(valid)
+    is_first[:, 0] = valid[:, 0]
+    is_first[:, 1:] = valid[:, 1:] & (sorted_slots[:, 1:] != sorted_slots[:, :-1])
+
+    flat_first = is_first.ravel()
+    flat_valid = valid.ravel()
+    group_of_element = np.cumsum(flat_first) - 1
+
+    n_groups = int(flat_first.sum())
+    slots = sorted_slots.ravel()[flat_first]
+    sizes = np.bincount(group_of_element[flat_valid], minlength=n_groups)
+
+    # Lane masks: each valid element contributes bit (1 << lane).  Sums of
+    # distinct powers of two below 2**32 are exact in float64.
+    lane_bits = (1.0 * 2.0 ** order).ravel()[flat_valid]
+    masks = np.bincount(
+        group_of_element[flat_valid], weights=lane_bits, minlength=n_groups
+    ).astype(np.uint64)
+
+    batch_of_group = np.repeat(np.arange(n_batches), WARP_SIZE)[flat_first]
+    counts = np.bincount(batch_of_group, minlength=n_batches)
+    offsets = np.zeros(n_batches + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return CoalescedTrace(
+        offsets=offsets,
+        slots=slots.astype(np.int64),
+        sizes=sizes.astype(np.int64),
+        masks=masks,
+    )

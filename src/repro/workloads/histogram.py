@@ -1,0 +1,77 @@
+"""Histogram workload: the classic atomic-heavy GPGPU kernel (§5.6 class).
+
+Histogramming is the textbook atomics benchmark the buffering works (LAB,
+PHI) target: every thread reads one input element and atomically
+increments one bin.  Its intra-warp locality sits *between* rendering and
+graph analytics -- neighbouring elements often fall in the same bin when
+the input is smooth, and scatter when it is noisy -- so it exercises ARC's
+adaptive threshold in a regime neither 3DGS nor pagerank covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.capture import trace_from_scatter
+from repro.trace.events import KernelTrace
+
+__all__ = ["HistogramWorkload"]
+
+
+@dataclass
+class HistogramWorkload:
+    """Bin a synthetic signal: one GPU thread per input element.
+
+    Parameters
+    ----------
+    n_elements:
+        Input length (threads launched).
+    n_bins:
+        Histogram size (the atomic destination buffer).
+    smoothness:
+        0 gives white noise (low intra-warp locality); larger values give
+        a slowly-varying signal whose neighbouring elements share bins
+        (high locality).  Implemented as a moving-average window length.
+    """
+
+    n_elements: int = 100_000
+    n_bins: int = 256
+    smoothness: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_elements <= 0 or self.n_bins <= 0:
+            raise ValueError("n_elements and n_bins must be positive")
+        if self.smoothness < 1:
+            raise ValueError("smoothness must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        signal = rng.random(self.n_elements + self.smoothness - 1)
+        if self.smoothness > 1:
+            kernel = np.ones(self.smoothness) / self.smoothness
+            signal = np.convolve(signal, kernel, mode="valid")
+        low, high = signal.min(), signal.max()
+        normalized = (signal - low) / max(high - low, 1e-12)
+        self.bins = np.minimum(
+            (normalized * self.n_bins).astype(np.int64), self.n_bins - 1
+        )
+
+    def reference_histogram(self) -> np.ndarray:
+        """The histogram the atomics compute (ground truth)."""
+        return np.bincount(self.bins, minlength=self.n_bins)
+
+    def capture_trace(self, with_values: bool = False) -> KernelTrace:
+        """Atomic trace of the histogram kernel (increment per element)."""
+        values = None
+        if with_values:
+            values = np.ones((self.n_elements, 1))
+        return trace_from_scatter(
+            self.bins,
+            n_slots=self.n_bins,
+            num_params=1,
+            values=values,
+            compute_cycles=8.0,  # a load and a bin computation
+            bfly_eligible=False,  # bins differ within most warps
+            name=f"histogram-s{self.smoothness}",
+        )

@@ -1,0 +1,120 @@
+"""Tests for the §5.5.3 threshold auto-tuner and the §5.4 area model."""
+
+import pytest
+
+from repro.core.autotune import (
+    DEFAULT_RETUNE_PERIOD,
+    ThresholdAutotuner,
+    tune_threshold,
+)
+from repro.gpu import RTX3060_SIM, RTX4090_SIM
+from repro.gpu.area import (
+    GPU_TOTAL_TRANSISTORS,
+    TRANSISTORS_PER_FPU,
+    area_overhead_fraction,
+    reduction_unit_transistors,
+)
+from repro.trace import coalesced_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return coalesced_trace(
+        n_batches=3000, n_slots=256, num_params=9, mean_active=14, seed=5
+    )
+
+
+class TestTuneThreshold:
+    def test_returns_best_and_all_timings(self, trace):
+        best, timings = tune_threshold(
+            trace, RTX3060_SIM, variant="B", candidates=(0, 8, 16, 24)
+        )
+        assert best in (0, 8, 16, 24)
+        assert set(timings) == {0, 8, 16, 24}
+        assert timings[best] == min(timings.values())
+
+    def test_default_profiles_all_33_values(self, trace):
+        small = trace.subsample(300)
+        best, timings = tune_threshold(small, RTX3060_SIM, variant="S")
+        assert len(timings) == 33
+        assert 0 <= best <= 32
+
+    def test_variant_validated(self, trace):
+        with pytest.raises(ValueError):
+            tune_threshold(trace, RTX3060_SIM, variant="Q")
+
+    def test_empty_candidates_rejected(self, trace):
+        with pytest.raises(ValueError):
+            tune_threshold(trace, RTX3060_SIM, candidates=())
+
+
+class TestAutotuner:
+    def test_reprofiles_on_schedule(self, trace):
+        tuner = ThresholdAutotuner(
+            RTX3060_SIM, period=10, candidates=(0, 8, 16)
+        )
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return trace.subsample(200)
+
+        for iteration in range(25):
+            tuner.threshold(iteration, provider)
+        assert len(calls) == 3  # iterations 0, 10, 20
+        assert tuner.profiles_run == 3
+
+    def test_threshold_stable_between_profiles(self, trace):
+        tuner = ThresholdAutotuner(
+            RTX3060_SIM, period=100, candidates=(0, 16)
+        )
+        sub = trace.subsample(200)
+        first = tuner.threshold(0, lambda: sub)
+        assert tuner.threshold(1, lambda: 1 / 0) == first  # no re-profile
+
+    def test_default_period_matches_paper(self):
+        assert DEFAULT_RETUNE_PERIOD == 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdAutotuner(RTX3060_SIM, period=0)
+        with pytest.raises(ValueError):
+            ThresholdAutotuner(RTX3060_SIM, initial_threshold=40)
+        with pytest.raises(ValueError):
+            ThresholdAutotuner(RTX3060_SIM, variant="X")
+        tuner = ThresholdAutotuner(RTX3060_SIM)
+        with pytest.raises(ValueError):
+            tuner.threshold(-1, lambda: None)
+
+
+class TestArea:
+    def test_paper_arithmetic_for_4090(self):
+        """§5.4: 128 x 4 x 70K = 35.84M transistors, ~0.047% of 76B."""
+        transistors = reduction_unit_transistors(RTX4090_SIM)
+        assert transistors == 128 * 4 * 70_000
+        fraction = area_overhead_fraction(RTX4090_SIM)
+        assert fraction == pytest.approx(0.00047, rel=0.05)
+
+    def test_3060_overhead_also_small(self):
+        assert area_overhead_fraction(RTX3060_SIM) < 0.001
+
+    def test_custom_total(self):
+        fraction = area_overhead_fraction(
+            RTX4090_SIM, total_transistors=35_840_000
+        )
+        assert fraction == pytest.approx(1.0)
+
+    def test_unknown_gpu_requires_total(self):
+        import dataclasses
+        custom = dataclasses.replace(RTX4090_SIM, name="custom")
+        with pytest.raises(ValueError):
+            area_overhead_fraction(custom)
+        assert area_overhead_fraction(custom, total_transistors=1e9) > 0
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(ValueError):
+            area_overhead_fraction(RTX4090_SIM, total_transistors=0)
+
+    def test_constants_documented(self):
+        assert TRANSISTORS_PER_FPU == 70_000
+        assert set(GPU_TOTAL_TRANSISTORS) == {"4090-Sim", "3060-Sim"}

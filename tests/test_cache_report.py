@@ -1,0 +1,66 @@
+"""Tests for the L2 residency model (§3.2's 97% hit-rate observation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu import RTX3060_SIM, RTX4090_SIM
+from repro.gpu.cache import CacheReport, gradient_buffer_bytes, l2_report
+from repro.trace import coalesced_trace
+
+
+def test_footprint_arithmetic():
+    trace = coalesced_trace(n_batches=10, n_slots=1000, num_params=9)
+    assert gradient_buffer_bytes(trace) == 1000 * 9 * 4
+
+
+def test_small_buffer_hits_after_cold_misses():
+    """A resident gradient buffer gives near-perfect hit rates, matching
+    the paper's 97% L2 measurement."""
+    trace = coalesced_trace(
+        n_batches=20_000, n_slots=2000, num_params=9, mean_active=12
+    )
+    for config in (RTX4090_SIM, RTX3060_SIM):
+        report = l2_report(trace, config)
+        assert report.fits_in_l2
+        assert report.hit_rate > 0.97, (config.name, report.hit_rate)
+
+
+def test_oversized_buffer_misses():
+    trace = coalesced_trace(
+        n_batches=200, n_slots=3_000_000, num_params=9, mean_active=12
+    )
+    tiny_l2 = dataclasses.replace(RTX3060_SIM, l2_mib=1.0)
+    report = l2_report(trace, tiny_l2)
+    assert not report.fits_in_l2
+    assert report.hit_rate < 0.5
+
+
+def test_hit_rate_monotone_in_l2_size():
+    trace = coalesced_trace(
+        n_batches=500, n_slots=200_000, num_params=9, mean_active=12
+    )
+    small = l2_report(trace, dataclasses.replace(RTX3060_SIM, l2_mib=2.0))
+    large = l2_report(trace, dataclasses.replace(RTX3060_SIM, l2_mib=64.0))
+    assert large.hit_rate >= small.hit_rate
+
+
+def test_empty_trace():
+    trace = coalesced_trace(n_batches=0, n_slots=10, num_params=1)
+    report = l2_report(trace, RTX4090_SIM)
+    assert report.accesses == 0
+    assert report.hit_rate == 0.0
+
+
+def test_misses_never_exceed_accesses():
+    trace = coalesced_trace(
+        n_batches=5, n_slots=1_000_000, num_params=9, mean_active=1
+    )
+    report = l2_report(trace, dataclasses.replace(RTX3060_SIM, l2_mib=1.0))
+    assert 0 <= report.misses <= report.accesses
+
+
+def test_report_is_frozen():
+    report = CacheReport(1, 2, 3, 1)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        report.misses = 0

@@ -1,0 +1,160 @@
+"""Tests for generic trace capture, the histogram workload, and DAB."""
+
+import numpy as np
+import pytest
+
+from repro.core import DAB, LAB, BaselineAtomic
+from repro.gpu import RTX3060_SIM, simulate_kernel
+from repro.gpu.warp import WARP_SIZE
+from repro.trace import (
+    INACTIVE,
+    pixel_to_warp_lane,
+    trace_from_scatter,
+    trace_from_tiled_image,
+)
+from repro.trace.analysis import intra_warp_locality
+from repro.workloads import HistogramWorkload
+
+
+class TestScatterCapture:
+    def test_threads_pack_into_warps(self):
+        destinations = np.arange(70) % 5
+        trace = trace_from_scatter(destinations, n_slots=5)
+        assert trace.n_batches == 3  # ceil(70 / 32)
+        assert trace.active_lane_counts.tolist() == [32, 32, 6]
+
+    def test_inactive_threads_respected(self):
+        destinations = np.array([1, INACTIVE, 2, INACTIVE])
+        trace = trace_from_scatter(destinations, n_slots=3)
+        assert trace.active_lane_counts[0] == 2
+
+    def test_values_roundtrip(self):
+        destinations = np.array([0, 1, 0, 1])
+        values = np.array([[1.0], [2.0], [3.0], [4.0]])
+        trace = trace_from_scatter(
+            destinations, n_slots=2, values=values
+        )
+        sums = trace.reference_sums()
+        assert sums[0, 0] == 4.0
+        assert sums[1, 0] == 6.0
+
+    def test_value_shape_checked(self):
+        with pytest.raises(ValueError):
+            trace_from_scatter(
+                np.array([0, 1]), n_slots=2, values=np.zeros((3, 1))
+            )
+
+    def test_non_flat_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_scatter(np.zeros((2, 2), dtype=int), n_slots=1)
+
+
+class TestTiledCapture:
+    def test_pixel_mapping_matches_cuda_layout(self):
+        # Pixel (0, 0) is lane 0 of warp 0; pixel (15, 1) ends warp 0.
+        warp, lane = pixel_to_warp_lane(
+            np.array([0, 15, 0, 0]), np.array([0, 1, 2, 15]), width=32
+        )
+        assert warp[0] == 0 and lane[0] == 0
+        assert warp[1] == 0 and lane[1] == 31
+        assert warp[2] == 1 and lane[2] == 0   # row 2 starts warp 1
+        assert warp[3] == 7                     # last row of the tile
+
+    def test_second_tile_gets_new_warps(self):
+        warp, _ = pixel_to_warp_lane(
+            np.array([16]), np.array([0]), width=32
+        )
+        assert warp[0] == 8  # 8 warps per 16x16 tile
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            pixel_to_warp_lane(np.array([0]), np.array([0]), width=30)
+
+    def test_smooth_image_has_high_locality(self):
+        height = width = 64
+        ys, xs = np.meshgrid(np.arange(height), np.arange(width),
+                             indexing="ij")
+        smooth = (xs // 32) + 2 * (ys // 32)   # 4 giant constant regions
+        trace = trace_from_tiled_image(smooth, n_slots=4)
+        assert intra_warp_locality(trace) == 1.0
+
+    def test_noisy_image_has_low_locality(self):
+        rng = np.random.default_rng(0)
+        noisy = rng.integers(0, 1000, size=(64, 64))
+        trace = trace_from_tiled_image(noisy, n_slots=1000)
+        assert intra_warp_locality(trace) < 0.01
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            trace_from_tiled_image(np.zeros((60, 64), dtype=int), n_slots=1)
+        with pytest.raises(ValueError):
+            trace_from_tiled_image(np.zeros(64, dtype=int), n_slots=1)
+
+
+class TestHistogram:
+    def test_reference_counts(self):
+        workload = HistogramWorkload(n_elements=5000, n_bins=64, seed=1)
+        histogram = workload.reference_histogram()
+        assert histogram.sum() == 5000
+        assert len(histogram) == 64
+
+    def test_trace_values_reproduce_histogram(self):
+        workload = HistogramWorkload(n_elements=3000, n_bins=32, seed=2)
+        trace = workload.capture_trace(with_values=True)
+        sums = trace.reference_sums()[:, 0]
+        np.testing.assert_array_equal(
+            sums.astype(int), workload.reference_histogram()
+        )
+
+    def test_smoothness_raises_locality(self):
+        """A slowly varying signal keeps whole warps in one bin."""
+        noisy = HistogramWorkload(n_elements=50_000, n_bins=8,
+                                  smoothness=1, seed=3)
+        smooth = HistogramWorkload(n_elements=50_000, n_bins=8,
+                                   smoothness=2000, seed=3)
+        assert (
+            intra_warp_locality(smooth.capture_trace())
+            > intra_warp_locality(noisy.capture_trace()) + 0.2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistogramWorkload(n_elements=0)
+        with pytest.raises(ValueError):
+            HistogramWorkload(smoothness=0)
+
+
+class TestDAB:
+    def make_trace(self):
+        from repro.trace import coalesced_trace
+        return coalesced_trace(
+            n_batches=4000, n_slots=300, num_params=9, mean_active=12,
+            seed=4,
+        )
+
+    def test_epoch_validation(self):
+        with pytest.raises(ValueError):
+            DAB(epoch_batches=0)
+
+    def test_determinism_costs_more_than_lab(self):
+        trace = self.make_trace()
+        lab = simulate_kernel(trace, RTX3060_SIM, LAB())
+        dab = simulate_kernel(trace, RTX3060_SIM, DAB())
+        assert dab.total_cycles > lab.total_cycles
+
+    def test_epoch_flushes_increase_rop_traffic(self):
+        trace = self.make_trace()
+        rare = simulate_kernel(trace, RTX3060_SIM, DAB(epoch_batches=512))
+        frequent = simulate_kernel(trace, RTX3060_SIM, DAB(epoch_batches=8))
+        assert frequent.rop_ops > rare.rop_ops
+
+    def test_preserves_sums(self):
+        from repro.core.functional import (
+            accumulate_with_strategy,
+            max_relative_error,
+        )
+        from repro.trace import coalesced_trace
+        trace = coalesced_trace(n_batches=50, num_params=3, seed=5,
+                                with_values=True)
+        result = accumulate_with_strategy(trace, DAB())
+        assert max_relative_error(result, trace.reference_sums()) < 1e-9

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "3D-LE" in out
+    assert "ARC-HW" in out
+    assert "4090-Sim" in out
+
+
+@pytest.fixture
+def small_registry(monkeypatch):
+    """Swap the workload registry for tiny instances to keep CLI tests
+    fast (the real Table 2 workloads take seconds to build)."""
+    from repro.workloads import GaussianWorkload
+
+    def fake_load(key):
+        return GaussianWorkload(
+            key=key, dataset="d", description="x", n_gaussians=80,
+            base_scale=0.15, extent=1.0, width=64, height=64, seed=1,
+        )
+
+    import repro.cli as cli
+    monkeypatch.setattr(cli, "load_workload", fake_load)
+    return fake_load
+
+
+def test_profile(small_registry, capsys):
+    assert main(["profile", "-w", "3D-LE"]) == 0
+    out = capsys.readouterr().out
+    assert "locality" in out
+    assert "active lanes" in out
+
+
+def test_simulate_table(small_registry, capsys):
+    assert main([
+        "simulate", "-w", "3D-LE", "-g", "3060-Sim",
+        "-s", "baseline", "ARC-HW", "ARC-SW-B-8",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "ARC-HW" in out
+
+    # Unknown strategy -> error exit code.
+    assert main(["simulate", "-s", "nonsense"]) == 2
+
+
+def test_train(small_registry, capsys):
+    assert main(["train", "-w", "3D-LE", "-n", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "PSNR" in out
+
+
+def test_breakdown(small_registry, capsys):
+    assert main(["breakdown", "-w", "3D-LE", "-g", "3060-Sim"]) == 0
+    out = capsys.readouterr().out
+    assert "forward" in out and "grad" in out
+
+
+def test_tune(small_registry, capsys):
+    assert main(["tune", "-w", "3D-LE", "-g", "3060-Sim",
+                 "--variant", "B"]) == 0
+    out = capsys.readouterr().out
+    assert "best" in out
+
+
+def test_tune_rejects_swb_on_divergent_kernel(monkeypatch, capsys):
+    from repro.workloads import SphereWorkload
+
+    def fake_load(key):
+        return SphereWorkload(
+            key=key, dataset="d", description="x", n_spheres=60,
+            base_radius=0.16, width=64, height=64, seed=2,
+        )
+
+    import repro.cli as cli
+    monkeypatch.setattr(cli, "load_workload", fake_load)
+    assert main(["tune", "-w", "PS-SS", "--variant", "B"]) == 2
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

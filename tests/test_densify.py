@@ -1,0 +1,158 @@
+"""Tests for 3DGS adaptive density control (split / clone / prune)."""
+
+import numpy as np
+import pytest
+
+from repro.render.densify import DensificationController
+from repro.render.gaussians import GaussianScene
+
+
+def scene_with(n=10, opacity_logit=2.0, scale=0.02, seed=0):
+    scene = GaussianScene.random(n, seed=seed, base_scale=scale)
+    scene.opacity_logits[:] = opacity_logit
+    scene.log_scales[:] = np.log(scale)
+    return scene
+
+
+def grads_for(scene, hot_indices=(), magnitude=1.0):
+    grads = scene.zero_gradients()
+    for index in hot_indices:
+        grads["positions"][index] = magnitude
+    return grads
+
+
+def make_controller(**overrides):
+    params = dict(grad_threshold=1e-3, scale_threshold=0.05,
+                  opacity_threshold=0.02, seed=1)
+    params.update(overrides)
+    return DensificationController(**params)
+
+
+class TestValidation:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DensificationController(grad_threshold=0)
+        with pytest.raises(ValueError):
+            DensificationController(opacity_threshold=1.0)
+        with pytest.raises(ValueError):
+            DensificationController(split_factor=1.0)
+
+    def test_densify_requires_accumulation(self):
+        with pytest.raises(RuntimeError):
+            make_controller().densify(scene_with())
+
+    def test_length_mismatch_detected(self):
+        controller = make_controller()
+        controller.accumulate(grads_for(scene_with(10)))
+        with pytest.raises(ValueError):
+            controller.accumulate(grads_for(scene_with(12)))
+        with pytest.raises(ValueError):
+            controller.densify(scene_with(12))
+
+
+class TestOperations:
+    def test_quiet_scene_unchanged(self):
+        scene = scene_with(8)
+        controller = make_controller()
+        controller.accumulate(grads_for(scene))
+        new_scene, stats = controller.densify(scene)
+        assert stats.cloned == stats.split == stats.pruned == 0
+        assert len(new_scene) == 8
+
+    def test_small_hot_gaussian_cloned(self):
+        scene = scene_with(6, scale=0.02)  # below the scale threshold
+        controller = make_controller()
+        controller.accumulate(grads_for(scene, hot_indices=[2]))
+        new_scene, stats = controller.densify(scene)
+        assert stats.cloned == 1
+        assert stats.split == 0
+        assert len(new_scene) == 7
+
+    def test_large_hot_gaussian_split_into_smaller(self):
+        scene = scene_with(6, scale=0.2)  # above the scale threshold
+        controller = make_controller()
+        controller.accumulate(grads_for(scene, hot_indices=[3]))
+        new_scene, stats = controller.densify(scene)
+        assert stats.split == 1
+        assert len(new_scene) == 7  # parent removed, two children added
+        # Children are smaller than the parent.
+        children_scales = np.exp(new_scene.log_scales[-2:])
+        assert (children_scales < 0.2).all()
+
+    def test_transparent_gaussians_pruned(self):
+        scene = scene_with(5)
+        scene.opacity_logits[1] = -8.0  # opacity ~ 0.0003
+        controller = make_controller()
+        controller.accumulate(grads_for(scene))
+        new_scene, stats = controller.densify(scene)
+        assert stats.pruned == 1
+        assert len(new_scene) == 4
+
+    def test_combined_operations(self):
+        scene = scene_with(10, scale=0.02)
+        scene.log_scales[4] = np.log(0.3)   # big -> split
+        scene.opacity_logits[7] = -8.0      # transparent -> pruned
+        controller = make_controller()
+        controller.accumulate(grads_for(scene, hot_indices=[2, 4]))
+        new_scene, stats = controller.densify(scene)
+        assert stats.cloned == 1            # index 2 (small)
+        assert stats.split == 1             # index 4 (big)
+        assert stats.pruned == 1            # index 7
+        # 10 - pruned - split parent + clone + 2 children = 11
+        assert len(new_scene) == 11
+        assert stats.n_before == 10
+        assert stats.n_after == 11
+
+    def test_accumulation_averages_over_steps(self):
+        """A single spike averaged over many steps stays below threshold."""
+        scene = scene_with(4)
+        controller = make_controller(grad_threshold=0.5)
+        controller.accumulate(grads_for(scene, hot_indices=[0],
+                                        magnitude=1.0))
+        for _ in range(9):
+            controller.accumulate(grads_for(scene))
+        _, stats = controller.densify(scene)
+        assert stats.cloned == 0  # mean grad 0.1 < 0.5
+
+    def test_reset_after_densify(self):
+        scene = scene_with(4)
+        controller = make_controller()
+        controller.accumulate(grads_for(scene))
+        controller.densify(scene)
+        with pytest.raises(RuntimeError):
+            controller.densify(scene)  # stats were consumed
+
+
+class TestTrainingIntegration:
+    def test_densified_training_grows_scene_and_improves(self):
+        from repro.render.camera import Camera
+        from repro.render.optim import Adam
+        from repro.render.splatting import GaussianRenderer
+        from repro.workloads.scenes import clustered_gaussian_scene
+
+        target_scene = clustered_gaussian_scene(60, seed=3, base_scale=0.1)
+        camera = Camera.looking_at([0, 0, -3.0], [0, 0, 0],
+                                   width=64, height=64)
+        target = GaussianRenderer(target_scene).render(camera)
+
+        scene = GaussianScene.random(20, seed=4, base_scale=0.12)
+        controller = make_controller(grad_threshold=1e-7,
+                                     scale_threshold=0.08)
+        optimizer = Adam(lr=0.01)
+        renderer = GaussianRenderer(scene)
+        first_loss = None
+        for iteration in range(30):
+            context = renderer.forward(camera)
+            result = renderer.backward(camera, context, target)
+            if first_loss is None:
+                first_loss = result.loss
+            optimizer.step(scene.parameters(), result.gradients)
+            controller.accumulate(result.gradients)
+            if iteration == 14:
+                scene, stats = controller.densify(scene)
+                renderer = GaussianRenderer(scene)
+                optimizer = Adam(lr=0.01)  # state reset, as in real 3DGS
+                assert stats.n_after >= stats.n_before
+        context = renderer.forward(camera)
+        final = renderer.backward(camera, context, target)
+        assert final.loss < first_loss

@@ -1,0 +1,143 @@
+"""Tests for the experiment runner (caching, matrices) and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.report import format_speedup_matrix, format_table
+from repro.experiments.runner import (
+    STRATEGY_FACTORIES,
+    arithmetic_mean,
+    best_threshold,
+    clear_caches,
+    get_result,
+    get_trace,
+    get_workload,
+    run_matrix,
+    speedups_over_baseline,
+    strategy_applicable,
+)
+from repro.trace import coalesced_trace, scattered_trace
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(monkeypatch):
+    """Swap in a fake tiny workload registry so tests stay fast."""
+    clear_caches()
+
+    class FakeWorkload:
+        def __init__(self, key, bfly=True):
+            self.key = key
+            self._bfly = bfly
+            self.captures = 0
+
+        def capture_trace(self):
+            self.captures += 1
+            factory = coalesced_trace if self._bfly else scattered_trace
+            trace = factory(n_batches=400, num_params=4, seed=1,
+                            name=self.key)
+            if not self._bfly:
+                trace = trace  # scattered traces are already ineligible
+            return trace
+
+    fakes = {"W1": FakeWorkload("W1"), "W2": FakeWorkload("W2", bfly=False)}
+    monkeypatch.setattr(runner, "load_workload", lambda key: fakes[key])
+    yield fakes
+    clear_caches()
+
+
+class TestCaching:
+    def test_workload_memoized(self, isolated_caches):
+        assert get_workload("W1") is get_workload("W1")
+
+    def test_trace_captured_once(self, isolated_caches):
+        get_trace("W1")
+        get_trace("W1")
+        assert isolated_caches["W1"].captures == 1
+
+    def test_result_memoized(self, isolated_caches):
+        a = get_result("W1", "4090-Sim", "baseline")
+        b = get_result("W1", "4090-Sim", "baseline")
+        assert a is b
+
+    def test_distinct_cells_distinct_results(self, isolated_caches):
+        a = get_result("W1", "4090-Sim", "baseline")
+        b = get_result("W1", "3060-Sim", "baseline")
+        c = get_result("W1", "4090-Sim", "ARC-HW")
+        assert a is not b and a is not c
+
+    def test_unknown_strategy_rejected(self, isolated_caches):
+        with pytest.raises(KeyError):
+            get_result("W1", "4090-Sim", "warp-magic")
+
+    def test_clear_caches(self, isolated_caches):
+        get_trace("W1")
+        clear_caches()
+        get_trace("W1")
+        assert isolated_caches["W1"].captures == 2
+
+
+class TestMatrix:
+    def test_strategy_registry_contents(self):
+        assert "baseline" in STRATEGY_FACTORIES
+        assert "ARC-HW" in STRATEGY_FACTORIES
+        assert "ARC-SW-B-16" in STRATEGY_FACTORIES
+        assert "ARC-SW-S-0" in STRATEGY_FACTORIES
+
+    def test_run_matrix_skips_inapplicable_swb(self, isolated_caches):
+        cells = run_matrix(["W1", "W2"], ["baseline", "ARC-SW-B-8"],
+                           ["3060-Sim"])
+        combos = {(c.workload, c.strategy) for c in cells}
+        assert ("W1", "ARC-SW-B-8") in combos
+        assert ("W2", "ARC-SW-B-8") not in combos  # divergent kernel
+        assert ("W2", "baseline") in combos
+
+    def test_strategy_applicable(self, isolated_caches):
+        assert strategy_applicable("W1", "ARC-SW-B-8")
+        assert not strategy_applicable("W2", "ARC-SW-B-8")
+        assert strategy_applicable("W2", "ARC-SW-S-8")
+
+    def test_speedups_over_baseline(self, isolated_caches):
+        cells = run_matrix(["W1"], ["baseline", "ARC-HW"], ["3060-Sim"])
+        speedups = speedups_over_baseline(cells)
+        assert set(speedups) == {("W1", "3060-Sim", "ARC-HW")}
+        assert speedups[("W1", "3060-Sim", "ARC-HW")] > 0
+
+    def test_best_threshold_picks_minimum(self, isolated_caches):
+        best = best_threshold("W1", "3060-Sim", variant="B")
+        cycles = {
+            x: get_result("W1", "3060-Sim", f"ARC-SW-B-{x}").total_cycles
+            for x in runner.SWEEP_THRESHOLDS
+        }
+        assert cycles[best] == min(cycles.values())
+
+    def test_best_threshold_variant_validated(self, isolated_caches):
+        with pytest.raises(ValueError):
+            best_threshold("W1", "3060-Sim", variant="Z")
+
+
+class TestReport:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.345], [10, 0.5]])
+        lines = text.split("\n")
+        assert len({len(line) for line in lines}) == 1  # aligned
+        assert "2.35" in text  # float formatting
+
+    def test_format_table_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_speedup_matrix(self):
+        speedups = {
+            ("W1", "4090-Sim", "ARC-HW"): 2.0,
+            ("W1", "3060-Sim", "ARC-HW"): 1.5,
+            ("W2", "4090-Sim", "ARC-HW"): 3.0,
+        }
+        text = format_speedup_matrix(speedups, title="t")
+        assert "ARC-HW@4090-Sim" in text
+        assert "-" in text.split("\n")[-1]  # missing cell placeholder

@@ -1,0 +1,141 @@
+"""Value-level correctness: every strategy preserves the gradient sums.
+
+§5.2 of the paper: atomic adds are commutative, so warp-level reduction
+only reassociates floating-point additions.  These tests assert that every
+strategy's reduction semantics reproduce the dense scatter-add reference up
+to FP noise -- on hand-built batches, on synthetic traces, and on
+hypothesis-generated ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    LAB,
+    PHI,
+    ArcHW,
+    ArcSWButterfly,
+    ArcSWSerialized,
+    BaselineAtomic,
+    CCCLReduce,
+    LABIdeal,
+)
+from repro.core.functional import accumulate_with_strategy, max_relative_error
+from repro.gpu.warp import WARP_SIZE
+from repro.trace import (
+    INACTIVE,
+    KernelTrace,
+    coalesced_trace,
+    mixed_locality_trace,
+    scattered_trace,
+)
+
+ALL_STRATEGIES = [
+    BaselineAtomic(),
+    ArcSWSerialized(8),
+    ArcSWButterfly(8),
+    ArcHW(),
+    CCCLReduce(),
+    LAB(),
+    LABIdeal(),
+    PHI(),
+]
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+@pytest.mark.parametrize(
+    "trace_factory",
+    [coalesced_trace, mixed_locality_trace, scattered_trace],
+    ids=["coalesced", "mixed", "scattered"],
+)
+def test_strategy_preserves_sums(strategy, trace_factory):
+    trace = trace_factory(n_batches=40, seed=11, with_values=True)
+    result = accumulate_with_strategy(trace, strategy)
+    reference = trace.reference_sums()
+    assert max_relative_error(result, reference) < 1e-9
+
+
+def test_butterfly_matches_exact_tree_order():
+    """The SW-B override reduces in tree order over zero-padded lanes."""
+    rng = np.random.default_rng(0)
+    lane_slots = np.full(WARP_SIZE, 3)
+    lane_slots[10:] = INACTIVE
+    values = rng.standard_normal((WARP_SIZE, 2))
+    [(slot, total)] = ArcSWButterfly(0).reduce_batch_values(lane_slots, values)
+    assert slot == 3
+    padded = np.where((lane_slots >= 0)[:, None], values, 0.0)
+    width = WARP_SIZE
+    expected = padded.copy()
+    while width > 1:
+        half = width // 2
+        expected[:half] += expected[half:width]
+        width = half
+    np.testing.assert_allclose(total, expected[0])
+
+
+def test_serial_reduction_left_to_right_order():
+    lane_slots = np.full(WARP_SIZE, INACTIVE)
+    lane_slots[[2, 5, 9]] = 4
+    values = np.zeros((WARP_SIZE, 1))
+    values[2], values[5], values[9] = 1.0, 2.0, 4.0
+    [(slot, total)] = ArcSWSerialized(0).reduce_batch_values(lane_slots, values)
+    assert slot == 4
+    assert total[0] == 7.0
+
+
+def test_all_inactive_batch_contributes_nothing():
+    lane_slots = np.full(WARP_SIZE, INACTIVE)
+    values = np.ones((WARP_SIZE, 3))
+    for strategy in ALL_STRATEGIES:
+        assert strategy.reduce_batch_values(lane_slots, values) == []
+
+
+def test_accumulate_requires_values():
+    trace = coalesced_trace(n_batches=5, with_values=False)
+    with pytest.raises(ValueError):
+        accumulate_with_strategy(trace, BaselineAtomic())
+
+
+def test_max_relative_error_shape_check():
+    with pytest.raises(ValueError):
+        max_relative_error(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+def test_max_relative_error_zero_reference_is_absolute():
+    assert max_relative_error(np.array([1e-12]), np.array([0.0])) < 1e-9
+
+
+@st.composite
+def traced_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    lane_slots = draw(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=(n, WARP_SIZE),
+            elements=st.integers(min_value=INACTIVE, max_value=4),
+        )
+    )
+    values = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(n, WARP_SIZE, 2),
+            elements=st.floats(
+                min_value=-1e3, max_value=1e3, allow_nan=False
+            ),
+        )
+    )
+    return KernelTrace(
+        lane_slots=lane_slots, num_params=2, n_slots=5, values=values
+    )
+
+
+@given(traced_batches())
+@settings(max_examples=40, deadline=None)
+def test_sum_preservation_property(trace):
+    reference = trace.reference_sums()
+    for strategy in (ArcSWSerialized(4), ArcSWButterfly(4), ArcHW()):
+        result = accumulate_with_strategy(trace, strategy)
+        np.testing.assert_allclose(result, reference, rtol=1e-9, atol=1e-6)

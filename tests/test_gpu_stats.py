@@ -1,0 +1,85 @@
+"""Tests for SimResult derived metrics and the energy model."""
+
+import pytest
+
+from repro.gpu import RTX3060_SIM, RTX4090_SIM, SimResult
+
+
+def make_result(**overrides):
+    params = dict(
+        strategy="test", gpu="4090-Sim", trace_name="t",
+        total_cycles=1000.0, compute_cycles=400.0, issue_cycles=100.0,
+        lsu_stall_cycles=300.0, local_unit_stall_cycles=200.0,
+        rop_ops=5000, transactions=600, shuffle_ops=0,
+    )
+    params.update(overrides)
+    return SimResult(**params)
+
+
+class TestDerived:
+    def test_busy_and_stall_cycles(self):
+        result = make_result()
+        assert result.busy_cycles == 500.0
+        assert result.stall_cycles == 500.0
+        assert result.atomic_stall_cycles == 500.0
+
+    def test_stalls_per_instruction(self):
+        result = make_result()
+        assert result.stalls_per_instruction == pytest.approx(1.0)
+
+    def test_empty_result_guards(self):
+        empty = SimResult(strategy="s", gpu="g")
+        assert empty.stalls_per_instruction == 0.0
+        assert sum(empty.stall_breakdown().values()) == 0.0
+
+    def test_breakdown_sums_to_one(self):
+        fractions = make_result().stall_breakdown()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["lsu_stall"] == pytest.approx(0.3)
+        assert fractions["local_unit_stall"] == pytest.approx(0.2)
+
+    def test_speedup_over(self):
+        fast = make_result(total_cycles=500.0)
+        slow = make_result(total_cycles=2000.0)
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            SimResult(strategy="s", gpu="g").speedup_over(fast)
+
+    def test_summary_mentions_key_numbers(self):
+        text = make_result().summary()
+        assert "1,000" in text
+        assert "test" in text
+
+
+class TestEnergy:
+    def test_components_additive(self):
+        """Each activity term contributes its per-op energy."""
+        base = make_result(rop_ops=0, transactions=0, compute_cycles=0.0,
+                           issue_cycles=0.0, total_cycles=0.0)
+        with_rops = make_result(rop_ops=1000, transactions=0,
+                                compute_cycles=0.0, issue_cycles=0.0,
+                                total_cycles=0.0)
+        delta = (
+            with_rops.energy_joules(RTX4090_SIM)
+            - base.energy_joules(RTX4090_SIM)
+        )
+        expected = 1000 * RTX4090_SIM.energy.rop_op_pj * 1e-12
+        assert delta == pytest.approx(expected)
+
+    def test_static_term_scales_with_runtime(self):
+        short = make_result(total_cycles=1e6, rop_ops=0, transactions=0,
+                            compute_cycles=0, issue_cycles=0,
+                            lsu_stall_cycles=0, local_unit_stall_cycles=0)
+        long = make_result(total_cycles=2e6, rop_ops=0, transactions=0,
+                           compute_cycles=0, issue_cycles=0,
+                           lsu_stall_cycles=0, local_unit_stall_cycles=0)
+        ratio = (
+            long.energy_joules(RTX4090_SIM)
+            / short.energy_joules(RTX4090_SIM)
+        )
+        assert ratio == pytest.approx(2.0)
+
+    def test_runtime_conversion_per_gpu(self):
+        result = make_result(total_cycles=1.32e6)
+        assert result.runtime_ms(RTX3060_SIM) == pytest.approx(1.0)
+        assert result.runtime_ms(RTX4090_SIM) < 1.0  # faster clock

@@ -1,0 +1,88 @@
+"""Tests for repro.gpu.warp mask utilities, including property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.warp import (
+    FULL_MASK,
+    WARP_SIZE,
+    bools_from_mask,
+    lanes_from_mask,
+    lowest_lane,
+    mask_from_bools,
+    mask_from_lanes,
+    popcount,
+)
+
+masks = st.integers(min_value=0, max_value=FULL_MASK)
+
+
+def test_constants():
+    assert WARP_SIZE == 32
+    assert FULL_MASK == 0xFFFFFFFF
+
+
+def test_popcount_basics():
+    assert popcount(0) == 0
+    assert popcount(FULL_MASK) == 32
+    assert popcount(0b1011) == 3
+
+
+def test_popcount_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        popcount(-1)
+    with pytest.raises(ValueError):
+        popcount(FULL_MASK + 1)
+
+
+def test_mask_from_lanes_roundtrip():
+    lanes = [0, 5, 31]
+    assert lanes_from_mask(mask_from_lanes(lanes)) == lanes
+
+
+def test_mask_from_lanes_rejects_bad_lane():
+    with pytest.raises(ValueError):
+        mask_from_lanes([32])
+    with pytest.raises(ValueError):
+        mask_from_lanes([-1])
+
+
+def test_mask_from_bools_roundtrip():
+    active = np.zeros(WARP_SIZE, dtype=bool)
+    active[[1, 2, 30]] = True
+    mask = mask_from_bools(active)
+    assert mask == mask_from_lanes([1, 2, 30])
+    np.testing.assert_array_equal(bools_from_mask(mask), active)
+
+
+def test_mask_from_bools_rejects_wrong_shape():
+    with pytest.raises(ValueError):
+        mask_from_bools(np.zeros(16, dtype=bool))
+
+
+def test_lowest_lane():
+    assert lowest_lane(0b1000) == 3
+    assert lowest_lane(FULL_MASK) == 0
+    assert lowest_lane(1 << 31) == 31
+
+
+def test_lowest_lane_empty_mask_rejected():
+    with pytest.raises(ValueError):
+        lowest_lane(0)
+
+
+@given(masks)
+def test_popcount_matches_lane_list(mask):
+    assert popcount(mask) == len(lanes_from_mask(mask))
+
+
+@given(masks)
+def test_bools_roundtrip_property(mask):
+    assert mask_from_bools(bools_from_mask(mask)) == mask
+
+
+@given(masks.filter(lambda m: m != 0))
+def test_lowest_lane_is_minimum_of_lanes(mask):
+    assert lowest_lane(mask) == min(lanes_from_mask(mask))

@@ -1,0 +1,112 @@
+"""Integration tests: the full pipeline, end to end.
+
+These tie every layer together on one small 3DGS workload: train the
+scene, capture a value-carrying trace from a real backward pass, verify
+that every atomic strategy computes the same gradients, and check that the
+simulated orderings that every figure relies on hold on this fresh
+workload too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LAB,
+    PHI,
+    ArcHW,
+    ArcSWButterfly,
+    ArcSWSerialized,
+    BaselineAtomic,
+    CCCLReduce,
+    LABIdeal,
+)
+from repro.core.functional import accumulate_with_strategy, max_relative_error
+from repro.gpu import RTX3060_SIM, l2_report, simulate_kernel
+from repro.trace.analysis import profile_trace
+from repro.workloads import GaussianWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return GaussianWorkload(
+        key="integration", dataset="demo", description="integration scene",
+        n_gaussians=250, base_scale=0.15, extent=1.2,
+        width=96, height=96, seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def trace(workload):
+    return workload.capture_trace(with_values=True)
+
+
+class TestEndToEnd:
+    def test_training_then_capture(self, workload):
+        report = workload.train(iterations=10)
+        assert report.final_loss < report.losses[0]
+        trace = workload.capture_trace()
+        assert trace.n_batches > 100
+
+    def test_trace_matches_paper_observations(self, trace):
+        profile = profile_trace(trace)
+        assert profile.locality > 0.99          # Observation 1
+        histogram = profile.histogram
+        assert (histogram[1:] > 0).sum() > 10   # Observation 2: variation
+        assert profile.num_params == 9          # 3DGS gradient block
+
+    def test_every_strategy_preserves_gradients(self, trace):
+        """The core correctness claim: all strategies compute the same
+        sums as the dense scatter-add, on a real rendering trace."""
+        small = trace.subsample(400, seed=0)
+        reference = small.reference_sums()
+        strategies = [
+            BaselineAtomic(), ArcSWSerialized(8), ArcSWButterfly(8),
+            ArcHW(), CCCLReduce(), LAB(), LABIdeal(), PHI(),
+        ]
+        for strategy in strategies:
+            result = accumulate_with_strategy(small, strategy)
+            assert max_relative_error(result, reference) < 1e-9, strategy
+
+    def test_simulated_ordering_on_fresh_workload(self, trace):
+        baseline = simulate_kernel(trace, RTX3060_SIM, BaselineAtomic())
+        arc_hw = simulate_kernel(trace, RTX3060_SIM, ArcHW())
+        arc_swb = simulate_kernel(trace, RTX3060_SIM, ArcSWButterfly(8))
+        arc_sws = simulate_kernel(trace, RTX3060_SIM, ArcSWSerialized(8))
+        phi = simulate_kernel(trace, RTX3060_SIM, PHI())
+
+        assert arc_hw.total_cycles < baseline.total_cycles
+        assert arc_swb.total_cycles < baseline.total_cycles
+        # HW beats SW (no instruction overheads), butterfly beats serial.
+        assert arc_hw.total_cycles <= arc_swb.total_cycles * 1.05
+        assert arc_swb.total_cycles < arc_sws.total_cycles
+        # PHI is within noise of the baseline.
+        assert phi.total_cycles > arc_swb.total_cycles
+
+    def test_traffic_accounting_consistency(self, trace):
+        """Semantical lane-ops are conserved: the baseline sends each one
+        to the ROPs; ARC's ROP ops + locally reduced values cover them."""
+        baseline = simulate_kernel(trace, RTX3060_SIM, BaselineAtomic())
+        assert baseline.rop_ops == trace.total_lane_ops
+        arc = simulate_kernel(trace, RTX3060_SIM, ArcHW())
+        assert arc.rop_ops < baseline.rop_ops
+        assert arc.rop_ops + arc.ru_values >= trace.total_lane_ops * 0.95
+
+    def test_l2_resident_gradient_buffer(self, trace):
+        """§3.2: the stalls are not cache misses -- the buffer is hot."""
+        report = l2_report(trace, RTX3060_SIM)
+        assert report.fits_in_l2
+        assert report.hit_rate > 0.97
+
+    def test_energy_follows_speedup(self, trace):
+        baseline = simulate_kernel(trace, RTX3060_SIM, BaselineAtomic())
+        arc = simulate_kernel(trace, RTX3060_SIM, ArcSWButterfly(8))
+        assert (
+            arc.energy_joules(RTX3060_SIM)
+            < baseline.energy_joules(RTX3060_SIM)
+        )
+
+    def test_values_trace_survives_subsampling(self, trace):
+        small = trace.subsample(100, seed=3)
+        assert small.values is not None
+        assert small.values.shape == (100, 32, 9)
+        assert np.isfinite(small.reference_sums()).all()

@@ -1,0 +1,71 @@
+"""Tests for the §5.6 pagerank counter-example workload."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import RTX4090_SIM, simulate_kernel
+from repro.core import ArcHW, BaselineAtomic
+from repro.trace.analysis import intra_warp_locality
+from repro.workloads.pagerank import PagerankWorkload, pagerank_trace
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return PagerankWorkload(n_nodes=1000, attachments=3, seed=1)
+
+
+class TestPagerank:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PagerankWorkload(n_nodes=3, attachments=4)
+
+    def test_edges_are_bidirectional(self, workload):
+        assert workload.n_edges % 2 == 0
+        pairs = set(zip(workload.sources.tolist(),
+                        workload.destinations.tolist()))
+        assert all((v, u) in pairs for u, v in list(pairs)[:100])
+
+    def test_ranks_form_distribution(self, workload):
+        ranks = workload.solve(iterations=40)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (ranks > 0).all()
+
+    def test_iterate_matches_networkx(self, workload):
+        """Converged ranks agree with networkx's pagerank."""
+        import networkx as nx
+        graph = nx.barabasi_albert_graph(1000, 3, seed=1)
+        expected = nx.pagerank(graph, alpha=workload.damping, tol=1e-12)
+        ours = workload.solve(iterations=80)
+        reference = np.array([expected[n] for n in range(1000)])
+        np.testing.assert_allclose(ours, reference, atol=1e-8)
+
+    def test_iterate_shape_checked(self, workload):
+        with pytest.raises(ValueError):
+            workload.iterate(np.zeros(5))
+
+    def test_trace_has_low_intra_warp_locality(self, workload):
+        """The §5.6 measurement: <0.1% of warps fully coalesced."""
+        trace = workload.capture_trace()
+        assert intra_warp_locality(trace) < 0.001
+
+    def test_trace_values_reproduce_push_iteration(self, workload):
+        trace = workload.capture_trace(with_values=True)
+        pushed = trace.reference_sums()[:, 0]
+        ranks = np.full(workload.n_nodes, 1.0 / workload.n_nodes)
+        expected = (workload.iterate(ranks)
+                    - (1 - workload.damping) / workload.n_nodes) / workload.damping
+        np.testing.assert_allclose(pushed, expected, atol=1e-12)
+
+    def test_arc_is_neutral_on_pagerank(self, workload):
+        """§5.6: no benefit, but also no harm (reduction path bypasses)."""
+        trace = workload.capture_trace()
+        baseline = simulate_kernel(trace, RTX4090_SIM, BaselineAtomic())
+        arc = simulate_kernel(trace, RTX4090_SIM, ArcHW())
+        assert arc.speedup_over(baseline) == pytest.approx(1.0, abs=0.15)
+        assert arc.ru_values < trace.total_lane_ops * 0.05
+
+    def test_convenience_function(self):
+        trace = pagerank_trace(n_nodes=500, attachments=3, seed=2)
+        assert trace.name == "pagerank"
+        assert not trace.bfly_eligible
+        assert trace.num_params == 1

@@ -1,0 +1,108 @@
+"""Tests for profiling: phase breakdowns (Fig 4) and stall reports (Fig 8)."""
+
+import pytest
+
+from repro.core import ArcSWButterfly, BaselineAtomic
+from repro.gpu import RTX3060_SIM, RTX4090_SIM, simulate_kernel
+from repro.profiling import (
+    PhaseBreakdown,
+    atomic_stall_reduction,
+    compute_kernel_cycles,
+    stall_report,
+    training_breakdown,
+)
+from repro.trace import coalesced_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return coalesced_trace(
+        n_batches=5000, n_slots=300, num_params=9, mean_active=12, seed=1,
+        name="unit",
+    )
+
+
+class TestComputeKernel:
+    def test_scales_with_work_and_parallelism(self):
+        cycles = compute_kernel_cycles(1_000_000, 10.0, RTX4090_SIM)
+        assert cycles == pytest.approx(1_000_000 * 10 / 512)
+        more_parallel = compute_kernel_cycles(1_000_000, 10.0, RTX3060_SIM)
+        assert more_parallel > cycles  # fewer sub-cores -> slower
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            compute_kernel_cycles(-1, 10.0, RTX4090_SIM)
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self, trace):
+        breakdown = training_breakdown(
+            trace, forward_pairs=500_000, n_pixels=9216, config=RTX3060_SIM
+        )
+        assert sum(breakdown.fractions.values()) == pytest.approx(1.0)
+        assert breakdown.total_cycles > 0
+
+    def test_grad_fraction_grows_with_atomic_traffic(self):
+        light = coalesced_trace(n_batches=500, num_params=9, seed=2)
+        heavy = coalesced_trace(n_batches=5000, num_params=9, seed=2)
+        kwargs = dict(forward_pairs=300_000, n_pixels=9216,
+                      config=RTX3060_SIM)
+        assert (
+            training_breakdown(heavy, **kwargs).grad_fraction
+            > training_breakdown(light, **kwargs).grad_fraction
+        )
+
+    def test_launch_scaling(self, trace):
+        one = training_breakdown(
+            trace, forward_pairs=100_000, n_pixels=9216,
+            config=RTX3060_SIM, launches=1,
+        )
+        two = training_breakdown(
+            trace, forward_pairs=100_000, n_pixels=9216,
+            config=RTX3060_SIM, launches=2,
+        )
+        assert two.forward_cycles == pytest.approx(2 * one.forward_cycles)
+        assert two.grad_cycles == one.grad_cycles  # trace already covers it
+
+    def test_invalid_launches(self, trace):
+        with pytest.raises(ValueError):
+            training_breakdown(trace, 1, 1, RTX3060_SIM, launches=0)
+
+    def test_end_to_end_speedup_amdahl(self):
+        breakdown = PhaseBreakdown("w", "g", forward_cycles=50.0,
+                                   loss_cycles=0.0, grad_cycles=50.0)
+        assert breakdown.end_to_end_speedup(2.0) == pytest.approx(100 / 75)
+        # Infinite grad speedup caps at total/other.
+        assert breakdown.end_to_end_speedup(1e12) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            breakdown.end_to_end_speedup(0.0)
+
+    def test_empty_breakdown_fractions(self):
+        empty = PhaseBreakdown("w", "g", 0.0, 0.0, 0.0)
+        assert empty.fractions == {"forward": 0.0, "loss": 0.0, "grad": 0.0}
+
+
+class TestStallReports:
+    def test_report_fields(self, trace):
+        result = simulate_kernel(trace, RTX3060_SIM, BaselineAtomic())
+        report = stall_report(result)
+        assert report.strategy == "baseline"
+        assert report.stalls_per_instruction >= 0
+        assert 0 <= report.lsu_fraction <= 1
+
+    def test_arc_reduces_atomic_stalls(self, trace):
+        baseline = simulate_kernel(trace, RTX3060_SIM, BaselineAtomic())
+        arc = simulate_kernel(trace, RTX3060_SIM, ArcSWButterfly(8))
+        reduction = atomic_stall_reduction(baseline, arc)
+        assert reduction > 1.0
+        assert (
+            stall_report(arc).stalls_per_instruction
+            < stall_report(baseline).stalls_per_instruction
+        )
+
+    def test_stall_reduction_requires_same_trace(self, trace):
+        other = coalesced_trace(n_batches=10, name="other")
+        a = simulate_kernel(trace, RTX3060_SIM, BaselineAtomic())
+        b = simulate_kernel(other, RTX3060_SIM, BaselineAtomic())
+        with pytest.raises(ValueError):
+            atomic_stall_reduction(a, b)

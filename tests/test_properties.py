@@ -1,0 +1,162 @@
+"""Cross-cutting property tests: invariants over random traces.
+
+These run hypothesis over whole simulated kernels, checking conservation
+and ordering properties that every figure implicitly relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LAB,
+    PHI,
+    ArcHW,
+    ArcSWButterfly,
+    ArcSWSerialized,
+    BaselineAtomic,
+    CCCLReduce,
+    LABIdeal,
+)
+from repro.gpu import RTX3060_SIM, simulate_kernel
+from repro.gpu.warp import WARP_SIZE
+from repro.trace import KernelTrace
+
+trace_params = st.fixed_dictionaries(
+    {
+        "n_batches": st.integers(min_value=1, max_value=120),
+        "n_slots": st.integers(min_value=1, max_value=40),
+        "num_params": st.integers(min_value=1, max_value=12),
+        "density": st.floats(min_value=0.0, max_value=1.0),
+        "spread": st.integers(min_value=1, max_value=32),
+        "seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+
+def build_trace(params) -> KernelTrace:
+    rng = np.random.default_rng(params["seed"])
+    active = rng.random((params["n_batches"], WARP_SIZE)) < params["density"]
+    # `spread` controls how many distinct slots a warp's lanes straddle.
+    base = rng.integers(0, params["n_slots"],
+                        size=(params["n_batches"], 1))
+    jitter = rng.integers(0, params["spread"],
+                          size=(params["n_batches"], WARP_SIZE))
+    slots = (base + jitter) % params["n_slots"]
+    lane_slots = np.where(active, slots, -1)
+    return KernelTrace(
+        lane_slots=lane_slots,
+        num_params=params["num_params"],
+        n_slots=params["n_slots"],
+        compute_cycles=30.0,
+    )
+
+
+@given(trace_params)
+@settings(max_examples=40, deadline=None)
+def test_baseline_rop_ops_equal_lane_ops(params):
+    """The baseline forwards exactly one ROP op per semantic lane-op."""
+    trace = build_trace(params)
+    result = simulate_kernel(trace, RTX3060_SIM, BaselineAtomic())
+    assert result.rop_ops == trace.total_lane_ops
+
+
+@given(trace_params)
+@settings(max_examples=40, deadline=None)
+def test_reduction_strategies_never_add_rop_traffic(params):
+    """No strategy may send more same-address work to the ROPs than the
+    baseline does (reduction can only merge)."""
+    trace = build_trace(params)
+    baseline_ops = trace.total_lane_ops
+    for strategy in (ArcSWSerialized(8), ArcSWButterfly(8), ArcHW(),
+                     CCCLReduce()):
+        result = simulate_kernel(trace, RTX3060_SIM, strategy)
+        assert result.rop_ops <= baseline_ops, strategy.name
+
+
+@given(trace_params)
+@settings(max_examples=30, deadline=None)
+def test_arc_hw_work_conservation(params):
+    """Every lane value is either serviced by a ROP or reduced in an FPU
+    (reduced groups still emit one ROP op per parameter)."""
+    trace = build_trace(params)
+    result = simulate_kernel(trace, RTX3060_SIM, ArcHW())
+    assert result.rop_ops + result.ru_values >= trace.total_lane_ops
+    assert result.ru_values <= trace.total_lane_ops
+
+
+@given(trace_params)
+@settings(max_examples=30, deadline=None)
+def test_engine_determinism(params):
+    trace = build_trace(params)
+    for strategy_factory in (BaselineAtomic, ArcHW, LAB):
+        first = simulate_kernel(trace, RTX3060_SIM, strategy_factory())
+        second = simulate_kernel(trace, RTX3060_SIM, strategy_factory())
+        assert first.total_cycles == second.total_cycles
+        assert first.rop_ops == second.rop_ops
+
+
+@given(trace_params)
+@settings(max_examples=30, deadline=None)
+def test_total_cycles_cover_critical_path_bounds(params):
+    """The kernel can never finish before its ROP work drains nor before
+    one sub-core's serial compute."""
+    trace = build_trace(params)
+    result = simulate_kernel(trace, RTX3060_SIM, BaselineAtomic())
+    if trace.n_batches == 0:
+        return
+    rop_floor = result.rop_busy_cycles / RTX3060_SIM.num_rops
+    assert result.total_cycles >= rop_floor * 0.999
+    per_subcore_floor = (
+        trace.compute_cycles_per_batch.sum() / RTX3060_SIM.num_subcores
+    )
+    assert result.total_cycles >= per_subcore_floor * 0.999
+
+
+@given(trace_params)
+@settings(max_examples=25, deadline=None)
+def test_buffering_absorbs_all_values(params):
+    """LAB/PHI service every lane value locally; only aggregated partials
+    (at most one per touched slot per SM, plus evictions) reach the ROPs."""
+    trace = build_trace(params)
+    for strategy in (LAB(), LABIdeal(), PHI()):
+        result = simulate_kernel(trace, RTX3060_SIM, strategy)
+        touched = result.buffer_ops + result.l1_tag_ops
+        assert touched >= trace.total_lane_ops
+        assert result.rop_ops % trace.num_params == 0
+
+
+@given(trace_params)
+@settings(max_examples=25, deadline=None)
+def test_stall_accounting_non_negative(params):
+    trace = build_trace(params)
+    for strategy in (BaselineAtomic(), ArcSWSerialized(4), PHI()):
+        result = simulate_kernel(trace, RTX3060_SIM, strategy)
+        assert result.lsu_stall_cycles >= 0
+        assert result.local_unit_stall_cycles >= 0
+        assert result.compute_cycles >= 0
+        fractions = result.stall_breakdown()
+        assert all(v >= -1e-12 for v in fractions.values())
+
+
+@given(st.integers(min_value=0, max_value=32),
+       st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=30, deadline=None)
+def test_threshold_extremes_bracket_traffic(threshold, seed):
+    """Raising the SW threshold monotonically increases ROP traffic (fewer
+    groups are reduced locally)."""
+    rng = np.random.default_rng(seed)
+    active = rng.random((60, WARP_SIZE)) < 0.6
+    slots = rng.integers(0, 8, size=(60, 1)) * np.ones(
+        (60, WARP_SIZE), dtype=np.int64
+    )
+    trace = KernelTrace(
+        lane_slots=np.where(active, slots, -1), num_params=4, n_slots=8,
+    )
+    low = simulate_kernel(trace, RTX3060_SIM, ArcSWSerialized(0))
+    mid = simulate_kernel(
+        trace, RTX3060_SIM, ArcSWSerialized(min(threshold, 32))
+    )
+    high = simulate_kernel(trace, RTX3060_SIM, ArcSWSerialized(32))
+    assert low.rop_ops <= mid.rop_ops <= high.rop_ops

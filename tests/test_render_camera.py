@@ -1,0 +1,103 @@
+"""Tests for the pinhole camera model and orbit viewpoints."""
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera, look_at_rotation, orbit_cameras
+
+
+def front_camera(width=64, height=48):
+    return Camera.looking_at([0, 0, -4.0], [0, 0, 0], width=width,
+                             height=height)
+
+
+class TestLookAt:
+    def test_rotation_is_orthonormal(self):
+        rotation = look_at_rotation([1, 2, -3], [0, 0, 0])
+        np.testing.assert_allclose(rotation @ rotation.T, np.eye(3),
+                                   atol=1e-12)
+
+    def test_forward_axis_points_at_target(self):
+        position = np.array([0.0, 0.0, -5.0])
+        rotation = look_at_rotation(position, [0, 0, 0])
+        forward_world = rotation[2]
+        expected = -position / np.linalg.norm(position)
+        np.testing.assert_allclose(forward_world, expected, atol=1e-12)
+
+    def test_coincident_position_target_rejected(self):
+        with pytest.raises(ValueError):
+            look_at_rotation([1, 1, 1], [1, 1, 1])
+
+    def test_parallel_up_rejected(self):
+        with pytest.raises(ValueError):
+            look_at_rotation([0, -2, 0], [0, 0, 0], up=[0, 1, 0])
+
+
+class TestCamera:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Camera(np.eye(3) * 2, np.zeros(3), 50, 50, 64, 64)
+        with pytest.raises(ValueError):
+            Camera(np.eye(3), np.zeros(3), -1, 50, 64, 64)
+        with pytest.raises(ValueError):
+            Camera(np.eye(3), np.zeros(3), 50, 50, 0, 64)
+
+    def test_principal_point_is_image_center(self):
+        camera = front_camera(width=100, height=60)
+        assert camera.cx == 50
+        assert camera.cy == 30
+
+    def test_target_projects_to_center(self):
+        camera = front_camera()
+        pixels, depth = camera.project(np.array([[0.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(pixels[0], [camera.cx, camera.cy],
+                                   atol=1e-9)
+        assert depth[0] == pytest.approx(4.0)
+
+    def test_point_behind_camera_gets_nan_pixels(self):
+        camera = front_camera()
+        pixels, depth = camera.project(np.array([[0.0, 0.0, -10.0]]))
+        assert np.isnan(pixels[0]).all()
+        assert depth[0] < 0
+
+    def test_projection_is_scale_consistent(self):
+        """A point twice as far appears at half the offset."""
+        camera = front_camera()
+        near = np.array([[0.5, 0.0, -2.0]])   # depth 2
+        far = np.array([[1.0, 0.0, 0.0]])     # depth 4, double offset
+        p_near, _ = camera.project(near)
+        p_far, _ = camera.project(far)
+        off_near = p_near[0, 0] - camera.cx
+        off_far = p_far[0, 0] - camera.cx
+        assert off_near == pytest.approx(off_far)
+
+    def test_world_to_camera_inverts(self):
+        camera = Camera.looking_at([2, -1, -3], [0.2, 0.1, 0])
+        points = np.random.default_rng(0).normal(size=(5, 3))
+        cam_space = camera.world_to_camera(points)
+        restored = cam_space @ camera.rotation + camera.position
+        np.testing.assert_allclose(restored, points, atol=1e-12)
+
+
+class TestOrbit:
+    def test_count_and_resolution(self):
+        cameras = orbit_cameras(7, width=32, height=48)
+        assert len(cameras) == 7
+        assert all(c.width == 32 and c.height == 48 for c in cameras)
+
+    def test_all_views_see_the_target(self):
+        target = np.array([0.3, -0.2, 0.5])
+        for camera in orbit_cameras(9, radius=5.0, target=target):
+            pixels, depth = camera.project(target[None])
+            assert depth[0] == pytest.approx(5.0)
+            np.testing.assert_allclose(pixels[0], [camera.cx, camera.cy],
+                                       atol=1e-6)
+
+    def test_positions_on_circle(self):
+        cameras = orbit_cameras(6, radius=3.0)
+        for camera in cameras:
+            assert np.linalg.norm(camera.position) == pytest.approx(3.0)
+
+    def test_zero_views_rejected(self):
+        with pytest.raises(ValueError):
+            orbit_cameras(0)

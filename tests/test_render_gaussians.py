@@ -1,0 +1,170 @@
+"""Tests for the Gaussian scene model: quaternions, covariances, grads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.render.gaussians import (
+    GaussianScene,
+    build_covariance,
+    covariance_backward,
+    quat_rotation_backward,
+    quat_to_rotation,
+)
+
+unit_quats = hnp.arrays(
+    np.float64, (1, 4),
+    elements=st.floats(min_value=-1, max_value=1),
+).filter(lambda q: np.linalg.norm(q) > 0.3)
+
+
+class TestQuaternions:
+    def test_identity_quaternion(self):
+        rotation = quat_to_rotation(np.array([[1.0, 0, 0, 0]]))
+        np.testing.assert_allclose(rotation[0], np.eye(3), atol=1e-12)
+
+    def test_known_rotation_90deg_z(self):
+        s = np.sqrt(0.5)
+        rotation = quat_to_rotation(np.array([[s, 0, 0, s]]))[0]
+        np.testing.assert_allclose(
+            rotation @ np.array([1.0, 0, 0]), [0, 1, 0], atol=1e-12
+        )
+
+    def test_zero_quaternion_rejected(self):
+        with pytest.raises(ValueError):
+            quat_to_rotation(np.zeros((1, 4)))
+
+    def test_normalization_invariance(self):
+        q = np.array([[0.3, -0.5, 0.7, 0.2]])
+        np.testing.assert_allclose(
+            quat_to_rotation(q), quat_to_rotation(3.7 * q), atol=1e-12
+        )
+
+    @given(unit_quats)
+    @settings(max_examples=40, deadline=None)
+    def test_rotation_is_orthonormal(self, q):
+        rotation = quat_to_rotation(q)[0]
+        np.testing.assert_allclose(rotation @ rotation.T, np.eye(3),
+                                   atol=1e-9)
+        assert np.linalg.det(rotation) == pytest.approx(1.0, abs=1e-9)
+
+    def test_quat_backward_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        q = rng.standard_normal((3, 4))
+        grad_r = rng.standard_normal((3, 3, 3))
+        analytic = quat_rotation_backward(q, grad_r)
+        eps = 1e-6
+        for n in range(3):
+            for i in range(4):
+                q_pos = q.copy()
+                q_pos[n, i] += eps
+                q_neg = q.copy()
+                q_neg[n, i] -= eps
+                numeric = np.sum(
+                    (quat_to_rotation(q_pos)[n] - quat_to_rotation(q_neg)[n])
+                    * grad_r[n]
+                ) / (2 * eps)
+                assert analytic[n, i] == pytest.approx(numeric, abs=1e-6)
+
+
+class TestCovariance:
+    def test_isotropic_from_equal_scales(self):
+        cov = build_covariance(
+            np.log(np.full((1, 3), 0.5)), np.array([[1.0, 0, 0, 0]])
+        )
+        np.testing.assert_allclose(cov[0], 0.25 * np.eye(3), atol=1e-12)
+
+    def test_positive_semidefinite(self):
+        rng = np.random.default_rng(2)
+        cov = build_covariance(
+            rng.normal(size=(10, 3)), rng.standard_normal((10, 4))
+        )
+        eigenvalues = np.linalg.eigvalsh(cov)
+        assert (eigenvalues > 0).all()
+
+    def test_rotation_invariant_trace(self):
+        """The trace equals the sum of squared scales for any rotation."""
+        rng = np.random.default_rng(3)
+        log_scales = rng.normal(size=(5, 3))
+        quats = rng.standard_normal((5, 4))
+        cov = build_covariance(log_scales, quats)
+        expected = (np.exp(log_scales) ** 2).sum(axis=1)
+        np.testing.assert_allclose(np.trace(cov, axis1=1, axis2=2), expected)
+
+    def test_covariance_backward_matches_numeric(self):
+        rng = np.random.default_rng(4)
+        log_scales = rng.normal(size=(2, 3)) * 0.3
+        quats = rng.standard_normal((2, 4))
+        grad_sigma = rng.standard_normal((2, 3, 3))
+        grad_sigma = (grad_sigma + grad_sigma.transpose(0, 2, 1)) / 2
+        grad_ls, grad_q = covariance_backward(log_scales, quats, grad_sigma)
+        eps = 1e-6
+
+        def loss(ls, q):
+            return float(np.sum(build_covariance(ls, q) * grad_sigma))
+
+        for n in range(2):
+            for i in range(3):
+                ls_pos = log_scales.copy()
+                ls_pos[n, i] += eps
+                ls_neg = log_scales.copy()
+                ls_neg[n, i] -= eps
+                numeric = (loss(ls_pos, quats) - loss(ls_neg, quats)) / (2 * eps)
+                assert grad_ls[n, i] == pytest.approx(numeric, abs=1e-5)
+            for i in range(4):
+                q_pos = quats.copy()
+                q_pos[n, i] += eps
+                q_neg = quats.copy()
+                q_neg[n, i] -= eps
+                numeric = (loss(log_scales, q_pos) - loss(log_scales, q_neg)) / (2 * eps)
+                assert grad_q[n, i] == pytest.approx(numeric, abs=1e-5)
+
+
+class TestScene:
+    def test_random_scene_shapes(self):
+        scene = GaussianScene.random(17, seed=5)
+        assert len(scene) == 17
+        assert scene.positions.shape == (17, 3)
+        assert scene.quaternions.shape == (17, 4)
+
+    def test_random_scene_deterministic(self):
+        a = GaussianScene.random(8, seed=9)
+        b = GaussianScene.random(8, seed=9)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianScene(
+                positions=np.zeros((2, 3)),
+                log_scales=np.zeros((3, 3)),  # wrong count
+                quaternions=np.zeros((2, 4)),
+                colors=np.zeros((2, 3)),
+                opacity_logits=np.zeros(2),
+            )
+
+    def test_zero_gaussians_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianScene.random(0)
+
+    def test_opacities_in_unit_interval(self):
+        scene = GaussianScene.random(50, seed=1)
+        assert (scene.opacities > 0).all()
+        assert (scene.opacities < 1).all()
+
+    def test_parameters_are_views(self):
+        scene = GaussianScene.random(4, seed=2)
+        scene.parameters()["colors"][:] = 0.25
+        assert (scene.colors == 0.25).all()
+
+    def test_zero_gradients_shapes(self):
+        scene = GaussianScene.random(4, seed=2)
+        grads = scene.zero_gradients()
+        for name, value in scene.parameters().items():
+            assert grads[name].shape == value.shape
+            assert (grads[name] == 0).all()
+
+    def test_atomic_params_constant(self):
+        """The real 3DGS kernel accumulates 9 values atomically."""
+        assert GaussianScene.ATOMIC_PARAMS == 9

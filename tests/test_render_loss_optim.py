@@ -1,0 +1,145 @@
+"""Tests for image losses/metrics and optimizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.render.loss import l1_loss, l1_loss_grad, mse, psnr, ssim
+from repro.render.optim import SGD, Adam
+
+images = hnp.arrays(
+    np.float64, (8, 8, 3),
+    elements=st.floats(min_value=0, max_value=1),
+)
+
+
+class TestLoss:
+    def test_l1_zero_for_identical(self):
+        image = np.random.default_rng(0).uniform(size=(4, 4, 3))
+        assert l1_loss(image, image) == 0.0
+
+    def test_l1_known_value(self):
+        a = np.zeros((2, 2, 3))
+        b = np.full((2, 2, 3), 0.5)
+        assert l1_loss(a, b) == pytest.approx(0.5)
+
+    def test_l1_grad_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        rendered = rng.uniform(size=(3, 3, 3))
+        target = rng.uniform(size=(3, 3, 3))
+        grad = l1_loss_grad(rendered, target)
+        eps = 1e-7
+        flat = rendered.reshape(-1)
+        for i in (0, 7, 26):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = l1_loss(rendered, target)
+            flat[i] = original - eps
+            minus = l1_loss(rendered, target)
+            flat[i] = original
+            assert grad.reshape(-1)[i] == pytest.approx(
+                (plus - minus) / (2 * eps), abs=1e-9
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            l1_loss(np.zeros((2, 2, 3)), np.zeros((3, 2, 3)))
+        with pytest.raises(ValueError):
+            l1_loss(np.zeros((0, 2, 3)), np.zeros((0, 2, 3)))
+
+    def test_psnr_infinite_for_identical(self):
+        image = np.random.default_rng(2).uniform(size=(4, 4, 3))
+        assert psnr(image, image) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = np.zeros((4, 4, 3))
+        b = np.full((4, 4, 3), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(3)
+        clean = rng.uniform(size=(16, 16, 3))
+        assert psnr(clean + 0.01, clean) > psnr(clean + 0.1, clean)
+
+    def test_ssim_bounds_and_identity(self):
+        rng = np.random.default_rng(4)
+        image = rng.uniform(size=(24, 24, 3))
+        assert ssim(image, image) == pytest.approx(1.0, abs=1e-9)
+        noisy = np.clip(image + rng.normal(scale=0.3, size=image.shape), 0, 1)
+        assert ssim(image, noisy) < 1.0
+
+    def test_ssim_window_validation(self):
+        image = np.zeros((16, 16, 3))
+        with pytest.raises(ValueError):
+            ssim(image, image, window=4)
+        with pytest.raises(ValueError):
+            ssim(image, image, window=1)
+
+    @given(images, images)
+    @settings(max_examples=25, deadline=None)
+    def test_metric_properties(self, a, b):
+        assert l1_loss(a, b) >= 0
+        assert l1_loss(a, b) == pytest.approx(l1_loss(b, a))
+        assert mse(a, b) >= 0
+
+
+class TestOptim:
+    def make_problem(self):
+        params = {"w": np.array([2.0, -3.0])}
+        grads = lambda: {"w": 2 * params["w"]}  # d/dw of |w|^2
+        return params, grads
+
+    def test_sgd_step_direction(self):
+        params, grads = self.make_problem()
+        SGD(lr=0.1).step(params, grads())
+        np.testing.assert_allclose(params["w"], [1.6, -2.4])
+
+    def test_sgd_momentum_accumulates(self):
+        params, grads = self.make_problem()
+        optimizer = SGD(lr=0.1, momentum=0.9)
+        first = params["w"].copy()
+        optimizer.step(params, {"w": np.array([1.0, 0.0])})
+        step1 = first - params["w"]
+        optimizer.step(params, {"w": np.array([1.0, 0.0])})
+        step2 = (first - params["w"]) - step1
+        assert step2[0] > step1[0]  # momentum grows the step
+
+    def test_sgd_validation(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+    def test_adam_converges_on_quadratic(self):
+        params, grads = self.make_problem()
+        optimizer = Adam(lr=0.3)
+        for _ in range(150):
+            optimizer.step(params, grads())
+        np.testing.assert_allclose(params["w"], [0.0, 0.0], atol=1e-3)
+
+    def test_adam_lr_overrides(self):
+        params = {"a": np.array([1.0]), "b": np.array([1.0])}
+        optimizer = Adam(lr=0.1, lr_overrides={"b": 0.0001})
+        optimizer.step(params, {"a": np.array([1.0]), "b": np.array([1.0])})
+        assert abs(1.0 - params["a"][0]) > abs(1.0 - params["b"][0])
+
+    def test_missing_gradient_skipped(self):
+        params = {"a": np.array([1.0]), "b": np.array([1.0])}
+        Adam(lr=0.1).step(params, {"a": np.array([1.0])})
+        assert params["b"][0] == 1.0
+        assert params["a"][0] != 1.0
+
+    def test_shape_mismatch_rejected(self):
+        params = {"a": np.zeros(2)}
+        with pytest.raises(ValueError):
+            Adam().step(params, {"a": np.zeros(3)})
+        with pytest.raises(ValueError):
+            SGD().step(params, {"a": np.zeros(3)})
+
+    def test_adam_validation(self):
+        with pytest.raises(ValueError):
+            Adam(lr=-1)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)

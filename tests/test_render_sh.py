@@ -1,0 +1,189 @@
+"""Tests for degree-1 spherical-harmonics color (view-dependent 3DGS)."""
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera
+from repro.render.gaussians import GaussianScene
+from repro.render.sh import (
+    N_SH_COEFFS,
+    SH_C0,
+    SHGaussianScene,
+    eval_sh_backward,
+    eval_sh_colors,
+    sh_from_rgb,
+)
+from repro.render.splatting import GaussianRenderer
+
+
+def unit_setup(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    coeffs = rng.normal(scale=0.3, size=(n, N_SH_COEFFS, 3))
+    positions = rng.normal(scale=0.5, size=(n, 3))
+    camera_position = np.array([0.0, 0.0, -3.0])
+    return coeffs, positions, camera_position
+
+
+class TestEval:
+    def test_band0_reproduces_rgb(self):
+        colors = np.array([[0.2, 0.5, 0.9], [0.0, 1.0, 0.4]])
+        coeffs = sh_from_rgb(colors)
+        evaluated, _ = eval_sh_colors(
+            coeffs, np.zeros((2, 3)), np.array([0.0, 0.0, -3.0])
+        )
+        np.testing.assert_allclose(evaluated, colors, atol=1e-12)
+
+    def test_sh_from_rgb_shape_checked(self):
+        with pytest.raises(ValueError):
+            sh_from_rgb(np.zeros((2, 4)))
+
+    def test_coeff_shape_checked(self):
+        with pytest.raises(ValueError):
+            eval_sh_colors(np.zeros((2, 3, 3)), np.zeros((2, 3)),
+                           np.zeros(3))
+
+    def test_view_dependence(self):
+        """Band-1 coefficients make color change with viewpoint."""
+        coeffs = np.zeros((1, N_SH_COEFFS, 3))
+        coeffs[0, 0] = 0.5 / SH_C0  # base gray
+        coeffs[0, 3, 0] = 1.0       # red varies along x
+        position = np.zeros((1, 3))
+        from_left, _ = eval_sh_colors(
+            coeffs, position, np.array([-3.0, 0.0, 0.0])
+        )
+        from_right, _ = eval_sh_colors(
+            coeffs, position, np.array([3.0, 0.0, 0.0])
+        )
+        assert from_left[0, 0] != pytest.approx(from_right[0, 0])
+        assert from_left[0, 1] == pytest.approx(from_right[0, 1])
+
+    def test_clamp_at_zero(self):
+        coeffs = np.zeros((1, N_SH_COEFFS, 3))
+        coeffs[0, 0] = -10.0  # strongly negative pre-clamp
+        colors, pre_clamp = eval_sh_colors(
+            coeffs, np.zeros((1, 3)), np.array([0.0, 0.0, -3.0])
+        )
+        assert (colors == 0.0).all()
+        assert (pre_clamp < 0).all()
+
+    def test_backward_matches_numeric(self):
+        coeffs, positions, camera_position = unit_setup()
+        rng = np.random.default_rng(1)
+        upstream = rng.standard_normal((5, 3))
+
+        def loss(c, p):
+            colors, _ = eval_sh_colors(c, p, camera_position)
+            return float(np.sum(colors * upstream))
+
+        _, pre_clamp = eval_sh_colors(coeffs, positions, camera_position)
+        grad_coeffs, grad_positions = eval_sh_backward(
+            coeffs, positions, camera_position, pre_clamp, upstream
+        )
+        eps = 1e-6
+        flat_c = coeffs.reshape(-1)
+        for index in rng.choice(flat_c.size, size=10, replace=False):
+            original = flat_c[index]
+            flat_c[index] = original + eps
+            plus = loss(coeffs, positions)
+            flat_c[index] = original - eps
+            minus = loss(coeffs, positions)
+            flat_c[index] = original
+            numeric = (plus - minus) / (2 * eps)
+            assert grad_coeffs.reshape(-1)[index] == pytest.approx(
+                numeric, rel=1e-5, abs=1e-9
+            )
+        flat_p = positions.reshape(-1)
+        for index in rng.choice(flat_p.size, size=8, replace=False):
+            original = flat_p[index]
+            flat_p[index] = original + eps
+            plus = loss(coeffs, positions)
+            flat_p[index] = original - eps
+            minus = loss(coeffs, positions)
+            flat_p[index] = original
+            numeric = (plus - minus) / (2 * eps)
+            assert grad_positions.reshape(-1)[index] == pytest.approx(
+                numeric, rel=1e-4, abs=1e-9
+            )
+
+
+class TestSHScene:
+    def test_from_scene_preserves_appearance(self):
+        scene = GaussianScene.random(6, seed=2)
+        sh_scene = SHGaussianScene.from_scene(scene)
+        camera = Camera.looking_at([0, 0, -3.0], [0, 0, 0],
+                                   width=32, height=32)
+        static = GaussianRenderer(scene).render(camera)
+        view_dep = GaussianRenderer(sh_scene).render(camera)
+        np.testing.assert_allclose(view_dep, static, atol=1e-9)
+
+    def test_parameters_swap_colors_for_coeffs(self):
+        sh_scene = SHGaussianScene.from_scene(GaussianScene.random(3, seed=3))
+        params = sh_scene.parameters()
+        assert "sh_coeffs" in params
+        assert "colors" not in params
+
+    def test_shape_validation(self):
+        scene = GaussianScene.random(3, seed=4)
+        with pytest.raises(ValueError):
+            SHGaussianScene(
+                positions=scene.positions,
+                log_scales=scene.log_scales,
+                quaternions=scene.quaternions,
+                colors=scene.colors,
+                opacity_logits=scene.opacity_logits,
+                sh_coeffs=np.zeros((3, 2, 3)),
+            )
+
+    def test_full_pipeline_sh_gradients_match_numeric(self):
+        rng = np.random.default_rng(5)
+        sh_scene = SHGaussianScene.from_scene(
+            GaussianScene.random(8, extent=0.5, seed=5, base_scale=0.15)
+        )
+        sh_scene.sh_coeffs[:, 1:] = rng.normal(
+            scale=0.15, size=(8, N_SH_COEFFS - 1, 3)
+        )
+        camera = Camera.looking_at([0.4, -0.2, -3.0], [0, 0, 0],
+                                   width=32, height=32)
+        target = rng.uniform(0, 1, (32, 32, 3))
+        renderer = GaussianRenderer(sh_scene)
+        context = renderer.forward(camera)
+        result = renderer.backward(camera, context, target)
+        assert "sh_coeffs" in result.gradients
+
+        eps = 1e-6
+        for name, analytic in result.gradients.items():
+            flat = sh_scene.parameters()[name].reshape(-1)
+            flat_grad = analytic.reshape(-1)
+            candidates = np.nonzero(np.abs(flat_grad) > 1e-12)[0]
+            picks = rng.choice(candidates,
+                               size=min(6, len(candidates)), replace=False)
+            for index in picks:
+                original = flat[index]
+                flat[index] = original + eps
+                plus = renderer.loss_only(camera, target)
+                flat[index] = original - eps
+                minus = renderer.loss_only(camera, target)
+                flat[index] = original
+                numeric = (plus - minus) / (2 * eps)
+                assert flat_grad[index] == pytest.approx(
+                    numeric, rel=3e-4, abs=1e-9
+                ), f"{name}[{index}]"
+
+    def test_sh_training_reduces_loss(self):
+        from repro.render.optim import Adam
+        rng = np.random.default_rng(6)
+        sh_scene = SHGaussianScene.from_scene(
+            GaussianScene.random(15, extent=0.5, seed=7, base_scale=0.15)
+        )
+        camera = Camera.looking_at([0, 0, -3.0], [0, 0, 0],
+                                   width=32, height=32)
+        target = rng.uniform(0, 1, (32, 32, 3))
+        renderer = GaussianRenderer(sh_scene)
+        optimizer = Adam(lr=0.02)
+        losses = []
+        for _ in range(12):
+            context = renderer.forward(camera)
+            result = renderer.backward(camera, context, target)
+            optimizer.step(sh_scene.parameters(), result.gradients)
+            losses.append(result.loss)
+        assert losses[-1] < losses[0]

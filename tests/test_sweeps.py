@@ -1,0 +1,70 @@
+"""Tests for the characterization sweep (where ARC wins)."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    SweepPoint,
+    characterization_sweep,
+    make_character_trace,
+)
+from repro.gpu import RTX3060_SIM
+from repro.trace.analysis import intra_warp_locality
+
+
+class TestCharacterTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_character_trace(0.0, 1)
+        with pytest.raises(ValueError):
+            make_character_trace(8.0, 0)
+
+    def test_single_group_is_fully_coalesced(self):
+        trace = make_character_trace(16.0, 1, n_batches=500)
+        assert intra_warp_locality(trace) == 1.0
+        assert trace.bfly_eligible
+
+    def test_many_groups_scatter(self):
+        trace = make_character_trace(24.0, 8, n_batches=500)
+        assert intra_warp_locality(trace) < 0.2
+        assert not trace.bfly_eligible
+
+    def test_mean_active_controls_density(self):
+        sparse = make_character_trace(4.0, 1, n_batches=800, seed=1)
+        dense = make_character_trace(28.0, 1, n_batches=800, seed=1)
+        assert (
+            dense.active_lane_counts.mean()
+            > sparse.active_lane_counts.mean() + 15
+        )
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def surface(self):
+        return characterization_sweep(
+            RTX3060_SIM,
+            active_levels=(4, 24),
+            group_levels=(1, 8),
+            n_batches=4000,
+        )
+
+    def test_grid_covered(self, surface):
+        cells = {(p.mean_active, p.groups_per_warp) for p in surface}
+        assert cells == {(4.0, 1), (24.0, 1), (4.0, 8), (24.0, 8)}
+        assert all(isinstance(p, SweepPoint) for p in surface)
+
+    def test_coalesced_dense_is_the_sweet_spot(self, surface):
+        by_cell = {
+            (p.mean_active, p.groups_per_warp): p for p in surface
+        }
+        sweet = by_cell[(24.0, 1)]
+        scattered = by_cell[(24.0, 8)]
+        # The paper's core claim as a surface: high locality + many active
+        # lanes is where ARC shines; scattered warps gain much less.
+        assert sweet.arc_hw_speedup > scattered.arc_hw_speedup
+        assert sweet.arc_hw_speedup > 1.5
+        assert sweet.arc_sw_speedup > 1.2
+
+    def test_speedups_positive_everywhere(self, surface):
+        for point in surface:
+            assert point.arc_hw_speedup > 0.5
+            assert point.arc_sw_speedup > 0.5

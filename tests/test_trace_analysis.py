@@ -1,0 +1,93 @@
+"""Tests for trace analysis: the paper's Observations 1 and 2."""
+
+import numpy as np
+
+from repro.gpu.warp import WARP_SIZE
+from repro.trace import (
+    INACTIVE,
+    KernelTrace,
+    coalesced_trace,
+    mixed_locality_trace,
+    scattered_trace,
+)
+from repro.trace.analysis import (
+    active_thread_histogram,
+    intra_warp_locality,
+    profile_trace,
+)
+
+
+def trace_from(lane_slots, num_params=2):
+    lane_slots = np.asarray(lane_slots)
+    return KernelTrace(
+        lane_slots=lane_slots, num_params=num_params,
+        n_slots=int(lane_slots.max(initial=0)) + 1,
+    )
+
+
+class TestLocality:
+    def test_fully_coalesced_trace(self):
+        assert intra_warp_locality(coalesced_trace(n_batches=200)) == 1.0
+
+    def test_scattered_trace_near_zero(self):
+        assert intra_warp_locality(
+            scattered_trace(n_batches=200, n_slots=8192)
+        ) < 0.01
+
+    def test_mixed_trace_in_between(self):
+        value = intra_warp_locality(
+            mixed_locality_trace(
+                n_batches=400, groups_per_warp=2, mean_active=4, seed=1
+            )
+        )
+        assert 0.0 < value < 0.6
+
+    def test_empty_batches_excluded(self):
+        lanes = np.full((4, WARP_SIZE), INACTIVE)
+        lanes[0, :] = 3  # one coalesced batch; three fully inactive
+        assert intra_warp_locality(trace_from(lanes)) == 1.0
+
+    def test_all_empty_trace_is_zero(self):
+        lanes = np.full((4, WARP_SIZE), INACTIVE)
+        assert intra_warp_locality(trace_from(lanes)) == 0.0
+
+
+class TestHistogram:
+    def test_bins_cover_0_to_32(self):
+        histogram = active_thread_histogram(coalesced_trace(n_batches=100))
+        assert histogram.shape == (WARP_SIZE + 1,)
+        assert histogram.sum() == 100
+
+    def test_known_counts(self):
+        lanes = np.full((3, WARP_SIZE), INACTIVE)
+        lanes[0, :5] = 0
+        lanes[1, :5] = 0
+        lanes[2, :] = 0
+        histogram = active_thread_histogram(trace_from(lanes))
+        assert histogram[5] == 2
+        assert histogram[32] == 1
+        assert histogram.sum() == 3
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        trace = coalesced_trace(n_batches=50, num_params=4, seed=3)
+        profile = profile_trace(trace)
+        assert profile.n_batches == 50
+        assert profile.num_params == 4
+        assert profile.locality == 1.0
+        assert 0 < profile.mean_active <= WARP_SIZE
+        assert profile.lane_ops == trace.total_lane_ops
+
+    def test_profile_str_mentions_key_stats(self):
+        text = str(profile_trace(coalesced_trace(n_batches=10)))
+        assert "locality" in text
+        assert "batches" in text
+
+    def test_empty_trace_profile(self):
+        trace = KernelTrace(
+            np.zeros((0, WARP_SIZE), dtype=int), num_params=1, n_slots=1
+        )
+        profile = profile_trace(trace)
+        assert profile.mean_active == 0.0
+        assert profile.locality == 0.0

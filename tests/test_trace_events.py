@@ -1,0 +1,188 @@
+"""Tests for KernelTrace and the vectorized address coalescer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpu.warp import WARP_SIZE, lanes_from_mask
+from repro.trace import INACTIVE, KernelTrace, coalesce_trace
+from repro.trace.synthetic import coalesced_trace, scattered_trace
+
+
+def make_trace(lane_slots, **kwargs):
+    lane_slots = np.asarray(lane_slots)
+    defaults = dict(num_params=2, n_slots=int(lane_slots.max(initial=0)) + 1)
+    defaults.update(kwargs)
+    return KernelTrace(lane_slots=lane_slots, **defaults)
+
+
+class TestValidation:
+    def test_wrong_lane_width_rejected(self):
+        with pytest.raises(ValueError):
+            KernelTrace(np.zeros((3, 16), dtype=int), num_params=1, n_slots=1)
+
+    def test_slot_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            KernelTrace(np.full((1, 32), 5), num_params=1, n_slots=5)
+
+    def test_slot_below_inactive_rejected(self):
+        with pytest.raises(ValueError):
+            KernelTrace(np.full((1, 32), -2), num_params=1, n_slots=1)
+
+    def test_bad_num_params_rejected(self):
+        with pytest.raises(ValueError):
+            KernelTrace(np.zeros((1, 32), dtype=int), num_params=0, n_slots=1)
+
+    def test_values_shape_checked(self):
+        with pytest.raises(ValueError):
+            KernelTrace(
+                np.zeros((2, 32), dtype=int),
+                num_params=3,
+                n_slots=1,
+                values=np.zeros((2, 32, 2)),
+            )
+
+    def test_warp_id_length_checked(self):
+        with pytest.raises(ValueError):
+            KernelTrace(
+                np.zeros((2, 32), dtype=int),
+                num_params=1,
+                n_slots=1,
+                warp_id=np.zeros(3, dtype=int),
+            )
+
+    def test_default_warp_id_is_arange(self):
+        trace = make_trace(np.zeros((4, 32), dtype=int))
+        np.testing.assert_array_equal(trace.warp_id, np.arange(4))
+
+
+class TestDerived:
+    def test_active_lane_counts(self):
+        lanes = np.full((2, 32), INACTIVE)
+        lanes[0, :5] = 0
+        lanes[1, :] = 1
+        trace = make_trace(lanes)
+        np.testing.assert_array_equal(trace.active_lane_counts, [5, 32])
+
+    def test_total_lane_ops_scales_with_params(self):
+        lanes = np.zeros((3, 32), dtype=int)
+        trace = make_trace(lanes, num_params=4)
+        assert trace.total_lane_ops == 3 * 32 * 4
+
+    def test_reference_sums_requires_values(self):
+        trace = make_trace(np.zeros((1, 32), dtype=int))
+        with pytest.raises(ValueError):
+            trace.reference_sums()
+
+    def test_reference_sums_scatter_add(self):
+        lanes = np.full((1, 32), INACTIVE)
+        lanes[0, 0] = 0
+        lanes[0, 1] = 1
+        lanes[0, 2] = 1
+        values = np.zeros((1, 32, 1))
+        values[0, 0, 0] = 2.0
+        values[0, 1, 0] = 3.0
+        values[0, 2, 0] = 4.0
+        values[0, 5, 0] = 99.0  # inactive lane: must be ignored
+        trace = make_trace(lanes, num_params=1, n_slots=2, values=values)
+        sums = trace.reference_sums()
+        assert sums[0, 0] == 2.0
+        assert sums[1, 0] == 7.0
+
+    def test_subsample_smaller_and_stable(self):
+        trace = coalesced_trace(n_batches=100, seed=3)
+        sub = trace.subsample(10, seed=1)
+        assert sub.n_batches == 10
+        assert sub.num_params == trace.num_params
+        sub2 = trace.subsample(10, seed=1)
+        np.testing.assert_array_equal(sub.lane_slots, sub2.lane_slots)
+
+    def test_subsample_noop_when_larger(self):
+        trace = coalesced_trace(n_batches=10)
+        assert trace.subsample(100) is trace
+
+
+class TestCoalescer:
+    def test_empty_trace(self):
+        result = coalesce_trace(np.zeros((0, 32), dtype=int))
+        assert result.n_groups == 0
+        assert list(result.offsets) == [0]
+
+    def test_all_same_slot_single_group(self):
+        lanes = np.full((1, 32), 7)
+        result = coalesce_trace(lanes)
+        assert result.n_groups == 1
+        assert result.slots[0] == 7
+        assert result.sizes[0] == 32
+        assert result.masks[0] == np.uint64(0xFFFFFFFF)
+
+    def test_all_inactive_no_groups(self):
+        lanes = np.full((2, 32), INACTIVE)
+        result = coalesce_trace(lanes)
+        assert result.n_groups == 0
+        assert list(result.offsets) == [0, 0, 0]
+
+    def test_two_groups_with_masks(self):
+        lanes = np.full((1, 32), INACTIVE)
+        lanes[0, [0, 3]] = 4
+        lanes[0, [1, 2, 10]] = 9
+        result = coalesce_trace(lanes)
+        assert result.n_groups == 2
+        by_slot = dict(zip(result.slots, range(2)))
+        g4, g9 = by_slot[4], by_slot[9]
+        assert result.sizes[g4] == 2
+        assert result.sizes[g9] == 3
+        assert lanes_from_mask(int(result.masks[g4])) == [0, 3]
+        assert lanes_from_mask(int(result.masks[g9])) == [1, 2, 10]
+
+    def test_offsets_partition_groups(self):
+        trace = scattered_trace(n_batches=50, seed=2)
+        result = trace.coalesced
+        assert result.offsets[0] == 0
+        assert result.offsets[-1] == result.n_groups
+        assert (np.diff(result.offsets) >= 0).all()
+
+    def test_coalesced_is_cached(self):
+        trace = coalesced_trace(n_batches=5)
+        assert trace.coalesced is trace.coalesced
+
+
+@st.composite
+def lane_slot_arrays(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    return draw(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=(n, WARP_SIZE),
+            elements=st.integers(min_value=INACTIVE, max_value=6),
+        )
+    )
+
+
+@given(lane_slot_arrays())
+@settings(max_examples=60, deadline=None)
+def test_coalescer_invariants(lane_slots):
+    """Group sizes sum to active lanes; masks are disjoint and consistent."""
+    result = coalesce_trace(lane_slots)
+    active = (lane_slots != INACTIVE).sum()
+    assert result.sizes.sum() == active
+    for batch in range(len(lane_slots)):
+        groups = result.groups_of(batch)
+        slots = result.slots[groups]
+        assert len(set(slots.tolist())) == len(slots), "slots unique per batch"
+        combined = 0
+        for slot, size, mask in zip(
+            slots, result.sizes[groups], result.masks[groups]
+        ):
+            mask = int(mask)
+            assert combined & mask == 0, "lane masks must be disjoint"
+            combined |= mask
+            lanes = lanes_from_mask(mask)
+            assert len(lanes) == size
+            assert all(lane_slots[batch, lane] == slot for lane in lanes)
+        expected = {
+            lane for lane in range(WARP_SIZE) if lane_slots[batch, lane] != INACTIVE
+        }
+        assert set(lanes_from_mask(combined)) == expected

@@ -1,0 +1,74 @@
+"""Tests for trace serialization (.npz round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.trace import coalesced_trace, scattered_trace
+from repro.trace.io import load_trace, save_trace
+
+
+def test_roundtrip_preserves_everything(tmp_path):
+    trace = coalesced_trace(
+        n_batches=50, num_params=4, seed=3, with_values=True,
+        name="roundtrip",
+    )
+    path = save_trace(trace, tmp_path / "trace.npz")
+    loaded = load_trace(path)
+    np.testing.assert_array_equal(loaded.lane_slots, trace.lane_slots)
+    np.testing.assert_array_equal(loaded.warp_id, trace.warp_id)
+    np.testing.assert_array_equal(loaded.values, trace.values)
+    assert loaded.num_params == trace.num_params
+    assert loaded.n_slots == trace.n_slots
+    assert loaded.name == "roundtrip"
+    assert loaded.bfly_eligible == trace.bfly_eligible
+
+
+def test_roundtrip_without_values(tmp_path):
+    trace = scattered_trace(n_batches=30, seed=1)
+    loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+    assert loaded.values is None
+    assert not loaded.bfly_eligible  # scattered traces are ineligible
+
+
+def test_per_batch_compute_cycles_roundtrip(tmp_path):
+    trace = coalesced_trace(n_batches=20, seed=2)
+    trace = type(trace)(
+        lane_slots=trace.lane_slots,
+        num_params=trace.num_params,
+        n_slots=trace.n_slots,
+        warp_id=trace.warp_id,
+        compute_cycles=np.linspace(5.0, 50.0, 20),
+    )
+    loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+    np.testing.assert_allclose(
+        loaded.compute_cycles_per_batch, trace.compute_cycles_per_batch
+    )
+
+
+def test_suffix_added_automatically(tmp_path):
+    trace = coalesced_trace(n_batches=5)
+    path = save_trace(trace, tmp_path / "noext")
+    assert path.suffix == ".npz"
+    assert path.exists()
+
+
+def test_version_check(tmp_path):
+    trace = coalesced_trace(n_batches=5)
+    path = save_trace(trace, tmp_path / "t.npz")
+    data = dict(np.load(path, allow_pickle=False))
+    data["format_version"] = np.int64(99)
+    np.savez_compressed(path, **data)
+    with pytest.raises(ValueError, match="version"):
+        load_trace(path)
+
+
+def test_simulation_identical_after_roundtrip(tmp_path):
+    from repro.core import BaselineAtomic
+    from repro.gpu import RTX3060_SIM, simulate_kernel
+
+    trace = coalesced_trace(n_batches=300, num_params=6, seed=9)
+    loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+    original = simulate_kernel(trace, RTX3060_SIM, BaselineAtomic())
+    replayed = simulate_kernel(loaded, RTX3060_SIM, BaselineAtomic())
+    assert original.total_cycles == replayed.total_cycles
+    assert original.rop_ops == replayed.rop_ops
