@@ -9,6 +9,14 @@ cite them.
 
 Set ``REPRO_BENCH_WORKLOADS`` to a comma-separated key list (e.g.
 ``3D-LE,NV-BB,PS-SS``) to run a fast subset.
+
+Execution knobs (flag overrides the matching environment variable):
+
+* ``--repro-jobs N`` / ``REPRO_BENCH_JOBS`` -- pre-warm the whole
+  experiment matrix across N worker processes before the figure tests
+  run, so each test is pure cache lookups;
+* ``--repro-no-cache`` / ``REPRO_NO_DISK_CACHE`` -- bypass the
+  persistent disk cache (every session then re-simulates from scratch).
 """
 
 from __future__ import annotations
@@ -19,9 +27,66 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments import diskcache
+from repro.experiments.runner import (
+    STRATEGY_FACTORIES,
+    clear_caches,
+)
+from repro.gpu import SIMULATED_GPUS
 from repro.workloads import WORKLOAD_KEYS
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--repro-jobs", type=int,
+        default=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        help="worker processes used to pre-warm the experiment matrix",
+    )
+    parser.addoption(
+        "--repro-no-cache", action="store_true", default=False,
+        help="bypass the persistent on-disk simulation cache",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def experiment_execution(request):
+    """Configure the cache layers and optionally pre-warm in parallel."""
+    if request.config.getoption("--repro-no-cache"):
+        diskcache.configure(enabled=False)
+    jobs = request.config.getoption("--repro-jobs")
+    if jobs > 1:
+        from repro.experiments.parallel import run_matrix_parallel
+
+        run_matrix_parallel(
+            selected_workloads(),
+            list(STRATEGY_FACTORIES),
+            list(SIMULATED_GPUS),
+            jobs=jobs,
+        )
+    yield
+    cache = diskcache.active_cache()
+    if cache is not None and cache.stats.lookups:
+        from repro.experiments.report import format_cache_stats
+
+        print()
+        print(format_cache_stats(cache.stats, title=f"cache: {cache.root}"))
+
+
+@pytest.fixture
+def isolated_simulation_state():
+    """Clear both cache layers around one isolation-sensitive test.
+
+    Figure tests deliberately share memoized cells; tests that mutate
+    workload registries or rely on fresh simulation must opt into this
+    fixture so nothing leaks in either direction -- including through the
+    persistent on-disk layer, which ``clear_caches()`` alone would leave
+    warm.
+    """
+    clear_caches(disk=True)
+    yield
+    clear_caches(disk=True)
 
 
 def selected_workloads() -> list[str]:

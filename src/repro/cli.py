@@ -8,6 +8,11 @@ Thin wrappers over the library for the common one-off questions:
 * ``train``      -- train a workload's model and report loss/PSNR.
 * ``breakdown``  -- training-time phase breakdown (Figure 4).
 * ``tune``       -- balancing-threshold sweep (§5.5.3 / Figure 23).
+* ``cache``      -- inspect or clear the persistent simulation cache.
+
+``simulate`` accepts ``--jobs N`` to fan cells across worker processes
+and ``--no-cache`` to bypass the persistent disk cache; both paths are
+bit-identical to a serial uncached run.
 """
 
 from __future__ import annotations
@@ -15,9 +20,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.report import format_table
-from repro.experiments.runner import STRATEGY_FACTORIES
-from repro.gpu import SIMULATED_GPUS, simulate_kernel
+from repro.experiments import diskcache
+from repro.experiments.report import format_cache_stats, format_table
+from repro.experiments.runner import (
+    STRATEGY_FACTORIES,
+    get_result,
+    seed_trace,
+)
+from repro.gpu import SIMULATED_GPUS
 from repro.profiling import training_breakdown
 from repro.trace.analysis import profile_trace
 from repro.workloads import WORKLOAD_KEYS, load_workload
@@ -67,6 +77,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--strategies", "-s", nargs="+", default=list(_DEFAULT_STRATEGIES),
         metavar="NAME", help="strategy names (see `repro list`)",
     )
+    simulate.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="simulate strategies across N worker processes (default: 1)",
+    )
+    simulate.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent on-disk simulation cache",
+    )
 
     train = sub.add_parser("train", help="train a workload's model")
     _add_workload_arg(train)
@@ -84,6 +102,13 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workload_arg(tune)
     _add_gpu_arg(tune)
     tune.add_argument("--variant", choices=("B", "S"), default="B")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent simulation cache"
+    )
+    cache.add_argument(
+        "--clear", action="store_true", help="delete every cached result"
+    )
     return parser
 
 
@@ -116,16 +141,27 @@ def _cmd_simulate(args) -> int:
     if unknown:
         print(f"unknown strategies: {unknown}", file=sys.stderr)
         return 2
-    workload = load_workload(args.workload)
-    trace = workload.capture_trace()
+    if args.no_cache:
+        diskcache.configure(enabled=False)
     gpu = SIMULATED_GPUS[args.gpu]
+    trace = load_workload(args.workload).capture_trace()
+    seed_trace(args.workload, trace)
+    if args.jobs > 1:
+        # Fan the cells out; results land in the in-memory cache so the
+        # table assembly below is pure lookups.
+        from repro.experiments.parallel import run_matrix_parallel
+
+        run_matrix_parallel(
+            [args.workload], list(args.strategies), [args.gpu],
+            jobs=args.jobs,
+        )
     rows = []
     baseline = None
     for name in args.strategies:
         if "SW-B" in name and not trace.bfly_eligible:
             rows.append([name, "-", "-", "- (divergent kernel)"])
             continue
-        result = simulate_kernel(trace, gpu, STRATEGY_FACTORIES[name]())
+        result = get_result(args.workload, args.gpu, name)
         if baseline is None or name == "baseline":
             baseline = baseline or result
         rows.append(
@@ -137,6 +173,10 @@ def _cmd_simulate(args) -> int:
         ["strategy", "cycles", "ROP ops", "speedup"], rows,
         title=f"{args.workload} gradient kernel on {gpu.name}",
     ))
+    cache = diskcache.active_cache()
+    if cache is not None and cache.stats.lookups:
+        print()
+        print(format_cache_stats(cache.stats, title=f"cache: {cache.root}"))
     return 0
 
 
@@ -191,6 +231,25 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    cache = diskcache.active_cache()
+    if cache is None:
+        print("disk cache disabled "
+              f"({diskcache.NO_CACHE_ENV} is set)")
+        return 0
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached results from {cache.root}")
+        return 0
+    entries = cache.entries()
+    print(f"location: {cache.root}")
+    print(f"  (override with {diskcache.CACHE_DIR_ENV}, "
+          f"disable with {diskcache.NO_CACHE_ENV}=1)")
+    print(f"entries:  {len(entries)}")
+    print(f"size:     {cache.size_bytes():,} bytes")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse *argv* (default ``sys.argv``) and run the chosen command."""
     args = _build_parser().parse_args(argv)
@@ -201,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": lambda: _cmd_train(args),
         "breakdown": lambda: _cmd_breakdown(args),
         "tune": lambda: _cmd_tune(args),
+        "cache": lambda: _cmd_cache(args),
     }
     return handlers[args.command]()
 

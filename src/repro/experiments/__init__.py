@@ -1,6 +1,24 @@
 """Experiment orchestration: cached workload x strategy x GPU matrices."""
 
-from repro.experiments.report import format_speedup_matrix, format_table
+from repro.experiments.diskcache import (
+    CacheStats,
+    DiskCache,
+    active_cache,
+    configure as configure_disk_cache,
+    result_key,
+    strategy_fingerprint,
+)
+from repro.experiments.parallel import (
+    CellSpec,
+    default_jobs,
+    plan_cells,
+    run_matrix_parallel,
+)
+from repro.experiments.report import (
+    format_cache_stats,
+    format_speedup_matrix,
+    format_table,
+)
 from repro.experiments.sweeps import (
     SweepPoint,
     characterization_sweep,
@@ -17,12 +35,26 @@ from repro.experiments.runner import (
     get_result,
     get_trace,
     get_workload,
+    make_strategy,
     run_matrix,
+    seed_result,
+    simulate_cell,
     speedups_over_baseline,
     strategy_applicable,
 )
 
 __all__ = [
+    "CacheStats",
+    "DiskCache",
+    "active_cache",
+    "configure_disk_cache",
+    "result_key",
+    "strategy_fingerprint",
+    "CellSpec",
+    "default_jobs",
+    "plan_cells",
+    "run_matrix_parallel",
+    "format_cache_stats",
     "format_speedup_matrix",
     "SweepPoint",
     "characterization_sweep",
@@ -38,7 +70,10 @@ __all__ = [
     "get_result",
     "get_trace",
     "get_workload",
+    "make_strategy",
     "run_matrix",
+    "seed_result",
+    "simulate_cell",
     "speedups_over_baseline",
     "strategy_applicable",
 ]

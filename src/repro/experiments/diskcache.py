@@ -1,0 +1,285 @@
+"""Persistent on-disk cache of simulation results.
+
+The in-memory memoization in :mod:`repro.experiments.runner` dies with the
+process, so every session re-simulates the full figure matrix from
+scratch.  This module adds a durable layer below it: each simulated
+(workload, GPU, strategy) cell is stored as one small JSON file keyed by a
+*content hash* of everything that determines the simulation's outcome:
+
+* every :class:`~repro.gpu.config.GPUConfig` field (cost and energy
+  models included), via :meth:`GPUConfig.fingerprint`;
+* the kernel trace's content, via :attr:`KernelTrace.fingerprint`;
+* the strategy's class, report name and constructor parameters.
+
+Because the key is derived from content rather than names, a cached entry
+can never be served for inputs it was not produced with -- editing a cost
+model entry, re-capturing a trace differently, or changing a balancing
+threshold all change the key.  Conversely the key is stable across
+processes, dict orderings and sessions, which is what makes warm reruns
+skip :func:`~repro.gpu.engine.simulate_kernel` entirely.
+
+Layout: ``<root>/results/<first two hex chars>/<sha256>.json``.  Writes
+are atomic (temp file + ``os.replace``) so concurrent worker processes
+sharing one cache directory can only ever observe complete entries.
+Corrupt or truncated entries are treated as misses and deleted.
+
+Configuration:
+
+* ``REPRO_CACHE_DIR`` -- cache directory (default
+  ``$XDG_CACHE_HOME/repro-arc`` or ``~/.cache/repro-arc``);
+* ``REPRO_NO_DISK_CACHE=1`` -- disable the disk layer entirely;
+* :func:`configure` -- programmatic override of both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.base import AtomicStrategy
+from repro.gpu.config import GPUConfig
+from repro.gpu.stats import SimResult
+from repro.trace.events import KernelTrace
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "NO_CACHE_ENV",
+    "CacheStats",
+    "DiskCache",
+    "active_cache",
+    "configure",
+    "default_cache_dir",
+    "result_key",
+    "strategy_fingerprint",
+]
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+NO_CACHE_ENV = "REPRO_NO_DISK_CACHE"
+
+#: Bump when the entry schema or keying scheme changes; old entries are
+#: then treated as misses instead of deserializing wrongly.
+_FORMAT_VERSION = 1
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME/repro-arc`` (or the ``~/.cache`` fallback)."""
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-arc"
+
+
+# --------------------------------------------------------------------- #
+# Cache keys
+# --------------------------------------------------------------------- #
+
+
+def strategy_fingerprint(strategy: AtomicStrategy) -> str:
+    """Canonical identity of a freshly constructed strategy.
+
+    Covers the class, the report name and every public scalar attribute
+    set by the constructor (balancing threshold, scheduler policy, buffer
+    capacity fraction, ...).  Private per-launch state (underscored, set
+    by ``begin_kernel``) is excluded: it does not exist at planning time
+    and never affects which simulation the strategy performs.
+    """
+    params = {
+        key: value
+        for key, value in vars(strategy).items()
+        if not key.startswith("_")
+        and key != "name"
+        and isinstance(value, _SCALAR_TYPES)
+    }
+    return json.dumps(
+        {
+            "class": type(strategy).__name__,
+            "name": strategy.name,
+            "params": params,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def result_key(
+    config: GPUConfig, trace: KernelTrace, strategy: AtomicStrategy
+) -> str:
+    """Content hash identifying one (GPU, trace, strategy) simulation."""
+    payload = json.dumps(
+        {
+            "format": _FORMAT_VERSION,
+            "gpu": config.fingerprint(),
+            "trace": trace.fingerprint,
+            "strategy": strategy_fingerprint(strategy),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# The cache proper
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class CacheStats:
+    """Session counters for one :class:`DiskCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0 when never consulted)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "errors": self.errors,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+class DiskCache:
+    """Content-addressed store of :class:`SimResult` entries."""
+
+    def __init__(self, root: "str | Path | None" = None):
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or default_cache_dir()
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.results_dir / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> "SimResult | None":
+        """Cached result for *key*, or ``None`` on miss/corruption.
+
+        A malformed entry (truncated write, garbage bytes, foreign
+        schema) is deleted and counted as a miss: the caller falls back
+        to re-simulating, never crashes.
+        """
+        path = self._path(key)
+        try:
+            text = path.read_text()
+            payload = json.loads(text)
+            if payload["format"] != _FORMAT_VERSION or payload["key"] != key:
+                raise ValueError("stale or mismatched cache entry")
+            result = SimResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(text)
+        return result
+
+    def store(self, key: str, result: SimResult) -> None:
+        """Atomically persist *result* under *key* (best-effort)."""
+        path = self._path(key)
+        payload = json.dumps(
+            {"format": _FORMAT_VERSION, "key": key,
+             "result": result.to_dict()},
+            sort_keys=True,
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            # A read-only or full cache directory degrades to no caching.
+            self.stats.errors += 1
+            return
+        self.stats.writes += 1
+        self.stats.bytes_written += len(payload)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def entries(self) -> list[Path]:
+        """Every committed entry file currently on disk."""
+        if not self.results_dir.is_dir():
+            return []
+        return sorted(self.results_dir.glob("*/*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+# --------------------------------------------------------------------- #
+# Process-wide active cache
+# --------------------------------------------------------------------- #
+
+_cache: "DiskCache | None" = None
+_disabled_override: "bool | None" = None
+
+
+def configure(
+    root: "str | Path | None" = None, enabled: "bool | None" = None
+) -> "DiskCache | None":
+    """Reset the process-wide cache (overriding the environment).
+
+    ``configure(root=...)`` points the cache somewhere else (tests use a
+    temp dir); ``configure(enabled=False)`` turns the disk layer off and
+    ``configure(enabled=True)`` forcibly re-enables it; ``configure()``
+    returns to environment-driven defaults.  Returns the now-active
+    cache, or ``None`` when disabled.
+    """
+    global _cache, _disabled_override
+    _cache = DiskCache(root)
+    _disabled_override = None if enabled is None else not enabled
+    return active_cache()
+
+
+def active_cache() -> "DiskCache | None":
+    """The process-wide cache, or ``None`` when the disk layer is off."""
+    global _cache
+    if _disabled_override is not None:
+        if _disabled_override:
+            return None
+    elif os.environ.get(NO_CACHE_ENV, "").strip() not in ("", "0"):
+        return None
+    if _cache is None:
+        _cache = DiskCache()
+    return _cache

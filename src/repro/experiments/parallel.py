@@ -1,0 +1,181 @@
+"""Parallel experiment execution: fan independent cells across processes.
+
+Every (workload, GPU, strategy) cell of an experiment matrix is an
+independent simulation, which makes the figure harness embarrassingly
+parallel.  :func:`run_matrix_parallel` plans the same cell list as the
+serial :func:`~repro.experiments.runner.run_matrix`, spools each needed
+trace to disk once, and dispatches the cells over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Determinism is a hard requirement ("parallel and cached runs produce
+bit-identical results to serial uncached runs"), so the design removes
+every source of divergence:
+
+* workers are started with the ``spawn`` context -- fresh interpreters
+  with no inherited caches, monkeypatches or RNG state;
+* workers never re-capture traces: the parent captures (or recalls) each
+  trace exactly once and workers replay the identical ``.npz`` bytes;
+* the simulator itself is deterministic, so cell results are independent
+  of scheduling, worker count and completion order;
+* results are reassembled in planning order, which equals serial order.
+
+Workers share the parent's persistent disk cache (same directory), so a
+parallel run both benefits from and contributes to warm-cache state;
+entry writes are atomic, making concurrent writers safe.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from pathlib import Path
+
+from repro.experiments import diskcache, runner
+from repro.experiments.runner import Cell, run_matrix
+from repro.gpu import GPUConfig, SimResult
+from repro.trace.events import KernelTrace
+from repro.trace.io import load_trace, save_trace
+
+__all__ = ["CellSpec", "default_jobs", "plan_cells", "run_matrix_parallel"]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of work, self-contained enough to ship to a worker.
+
+    Carries the full :class:`GPUConfig` (not just a preset name) so cells
+    over ablated configs parallelize identically to preset ones.
+    """
+
+    workload: str
+    gpu: GPUConfig
+    strategy: str
+
+
+def default_jobs() -> int:
+    """Worker count when none is requested (``os.cpu_count``, min 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def plan_cells(
+    workloads: "list[str]",
+    strategies: "list[str]",
+    gpus: "list[str | GPUConfig]",
+    skip_inapplicable: bool = True,
+) -> list[CellSpec]:
+    """The exact cell sequence :func:`run_matrix` would simulate."""
+    for strategy in strategies:
+        runner.make_strategy(strategy)  # fail fast on unknown names
+    specs = []
+    for gpu in gpus:
+        config = runner._gpu_by_name(gpu)
+        for workload in workloads:
+            for strategy in strategies:
+                if skip_inapplicable and not runner.strategy_applicable(
+                    workload, strategy
+                ):
+                    continue
+                specs.append(CellSpec(workload, config, strategy))
+    return specs
+
+
+# --------------------------------------------------------------------- #
+# Worker side.  Module-level state survives across tasks within one
+# worker process (spawn re-imports this module there); traces are loaded
+# from the parent's spool at most once per (worker, workload).
+# --------------------------------------------------------------------- #
+
+_worker_trace_dir: "Path | None" = None
+_worker_traces: dict[str, KernelTrace] = {}
+
+
+def _worker_init(trace_dir: str, cache_root: "str | None",
+                 cache_enabled: bool) -> None:
+    global _worker_trace_dir
+    _worker_trace_dir = Path(trace_dir)
+    _worker_traces.clear()
+    if cache_enabled and cache_root is not None:
+        diskcache.configure(root=cache_root, enabled=True)
+    else:
+        diskcache.configure(enabled=False)
+
+
+def _worker_trace(workload: str) -> KernelTrace:
+    if workload not in _worker_traces:
+        if _worker_trace_dir is None:
+            raise RuntimeError("worker used outside run_matrix_parallel")
+        _worker_traces[workload] = load_trace(
+            _worker_trace_dir / f"{workload}.npz"
+        )
+    return _worker_traces[workload]
+
+
+def _simulate_spec(spec: CellSpec) -> SimResult:
+    trace = _worker_trace(spec.workload)
+    strategy = runner.make_strategy(spec.strategy)
+    return runner.simulate_cell(trace, spec.gpu, strategy)
+
+
+# --------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------- #
+
+
+def _spool_traces(workloads: "list[str]", directory: Path) -> None:
+    """Write each workload's (memoized) trace once for workers to replay."""
+    for workload in dict.fromkeys(workloads):
+        save_trace(runner.get_trace(workload), directory / f"{workload}.npz")
+
+
+def run_matrix_parallel(
+    workloads: "list[str]",
+    strategies: "list[str]",
+    gpus: "list[str | GPUConfig]",
+    jobs: "int | None" = None,
+    skip_inapplicable: bool = True,
+) -> list[Cell]:
+    """Parallel, bit-identical drop-in for :func:`run_matrix`.
+
+    Dispatches the matrix's cells across *jobs* worker processes
+    (default: all CPUs) and returns the cells in serial order.  Results
+    are also seeded into the parent's in-memory cache, so follow-up
+    serial calls (``speedups_over_baseline``, figure assembly) reuse them
+    without re-simulating.  With ``jobs=1`` this simply delegates to the
+    serial :func:`run_matrix`.
+    """
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    if jobs == 1:
+        return run_matrix(workloads, strategies, gpus,
+                          skip_inapplicable=skip_inapplicable)
+
+    specs = plan_cells(workloads, strategies, gpus,
+                       skip_inapplicable=skip_inapplicable)
+    if not specs:
+        return []
+
+    cache = diskcache.active_cache()
+    cache_root = str(cache.root) if cache is not None else None
+
+    with tempfile.TemporaryDirectory(prefix="repro-traces-") as spool:
+        _spool_traces([spec.workload for spec in specs], Path(spool))
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(specs)),
+            mp_context=get_context("spawn"),
+            initializer=_worker_init,
+            initargs=(spool, cache_root, cache_root is not None),
+        ) as pool:
+            results = list(pool.map(_simulate_spec, specs))
+
+    cells = []
+    for spec, result in zip(specs, results):
+        runner.seed_result(spec.workload, spec.gpu, spec.strategy, result)
+        cells.append(
+            Cell(workload=spec.workload, gpu=spec.gpu.name,
+                 strategy=spec.strategy, result=result)
+        )
+    return cells

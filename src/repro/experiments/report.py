@@ -6,7 +6,12 @@ text tables (the benchmark harness also persists them as JSON).
 
 from __future__ import annotations
 
-__all__ = ["format_table", "format_speedup_matrix"]
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.experiments.diskcache import CacheStats
+
+__all__ = ["format_table", "format_speedup_matrix", "format_cache_stats"]
 
 
 def format_table(header: list[str], rows: list[list], title: str = "") -> str:
@@ -32,6 +37,26 @@ def format_table(header: list[str], rows: list[list], title: str = "") -> str:
     for row in formatted:
         lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_cache_stats(stats: "CacheStats", title: str = "") -> str:
+    """Render one session's disk-cache counters (hits/misses/bytes).
+
+    The benchmark harness prints this after a run so warm-start behaviour
+    is visible: a fully warm session shows zero misses and zero writes.
+    """
+    rows = [
+        ["hits", stats.hits],
+        ["misses", stats.misses],
+        ["hit rate", f"{stats.hit_rate:.1%}"],
+        ["writes", stats.writes],
+        ["corrupt/failed", stats.errors],
+        ["bytes read", f"{stats.bytes_read:,}"],
+        ["bytes written", f"{stats.bytes_written:,}"],
+    ]
+    return format_table(
+        ["counter", "value"], rows, title=title or "disk cache"
+    )
 
 
 def format_speedup_matrix(

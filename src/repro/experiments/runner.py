@@ -5,6 +5,13 @@ simulations (the same baseline run appears in half the figures).  This
 module memoizes workload trace captures and simulation results
 process-wide, so each (workload, GPU, strategy) cell is simulated exactly
 once per session no matter how many figures reference it.
+
+Below the in-memory layer sits a persistent content-addressed disk cache
+(:mod:`repro.experiments.diskcache`): :func:`get_result` consults memory,
+then disk, and only then simulates.  Warm sessions therefore replay whole
+figure matrices without a single :func:`simulate_kernel` call.  For
+fanning the independent cells out across worker processes, see
+:mod:`repro.experiments.parallel`.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.experiments import diskcache
 from repro.core import (
     LAB,
     PHI,
@@ -31,7 +39,11 @@ __all__ = [
     "STRATEGY_FACTORIES",
     "get_workload",
     "get_trace",
+    "seed_trace",
     "get_result",
+    "make_strategy",
+    "simulate_cell",
+    "seed_result",
     "run_matrix",
     "speedups_over_baseline",
     "arithmetic_mean",
@@ -69,11 +81,20 @@ _trace_cache: dict[str, KernelTrace] = {}
 _result_cache: dict[tuple[str, str, str], SimResult] = {}
 
 
-def clear_caches() -> None:
-    """Drop all memoized workloads, traces and simulation results."""
+def clear_caches(disk: bool = False) -> None:
+    """Drop all memoized workloads, traces and simulation results.
+
+    The persistent disk layer survives by default (that is its point);
+    pass ``disk=True`` to also wipe the active on-disk cache, which
+    isolation-sensitive tests need so no state leaks between them.
+    """
     _workload_cache.clear()
     _trace_cache.clear()
     _result_cache.clear()
+    if disk:
+        cache = diskcache.active_cache()
+        if cache is not None:
+            cache.clear()
 
 
 def get_workload(key: str) -> Workload:
@@ -90,28 +111,80 @@ def get_trace(key: str) -> KernelTrace:
     return _trace_cache[key]
 
 
+def seed_trace(key: str, trace: KernelTrace) -> None:
+    """Inject an already-captured trace into the memoization layer.
+
+    Callers that capture traces themselves (the CLI, tests with synthetic
+    workloads) use this so :func:`get_result` and the parallel runner
+    replay the exact same trace instead of re-capturing.
+    """
+    _trace_cache[key] = trace
+
+
 def _gpu_by_name(gpu: "str | GPUConfig") -> GPUConfig:
     if isinstance(gpu, GPUConfig):
         return gpu
     return SIMULATED_GPUS[gpu]
 
 
+def make_strategy(strategy: str) -> AtomicStrategy:
+    """Fresh strategy instance for a registry name, validating the name."""
+    if strategy not in STRATEGY_FACTORIES:
+        raise KeyError(
+            f"unknown strategy {strategy!r}; "
+            f"choose from {sorted(STRATEGY_FACTORIES)}"
+        )
+    return STRATEGY_FACTORIES[strategy]()
+
+
+def simulate_cell(trace: KernelTrace, config: GPUConfig,
+                  strategy: AtomicStrategy) -> SimResult:
+    """Disk-then-simulate path shared by the serial and parallel runners.
+
+    Consults the persistent cache under a content hash of (config, trace,
+    strategy); on a miss, simulates and stores the result.  Memory-level
+    memoization stays the caller's job (:func:`get_result` here, the
+    per-process caches in :mod:`repro.experiments.parallel`).
+    """
+    cache = diskcache.active_cache()
+    if cache is None:
+        return simulate_kernel(trace, config, strategy)
+    key = diskcache.result_key(config, trace, strategy)
+    result = cache.load(key)
+    if result is None:
+        result = simulate_kernel(trace, config, strategy)
+        cache.store(key, result)
+    return result
+
+
+def _memory_key(workload: str, config: GPUConfig,
+                strategy: str) -> tuple[str, str, str]:
+    # Keyed by config *content*, not name: ablations pass modified copies
+    # of a preset that keep its name, and those must not collide.
+    return (workload, config.fingerprint(), strategy)
+
+
 def get_result(workload: str, gpu: "str | GPUConfig",
                strategy: str) -> SimResult:
-    """Memoized simulation of one (workload, GPU, strategy) cell."""
+    """One (workload, GPU, strategy) cell: memory -> disk -> simulate."""
     config = _gpu_by_name(gpu)
-    cache_key = (workload, config.name, strategy)
+    cache_key = _memory_key(workload, config, strategy)
     if cache_key not in _result_cache:
-        if strategy not in STRATEGY_FACTORIES:
-            raise KeyError(
-                f"unknown strategy {strategy!r}; "
-                f"choose from {sorted(STRATEGY_FACTORIES)}"
-            )
+        instance = make_strategy(strategy)
         trace = get_trace(workload)
-        _result_cache[cache_key] = simulate_kernel(
-            trace, config, STRATEGY_FACTORIES[strategy]()
-        )
+        _result_cache[cache_key] = simulate_cell(trace, config, instance)
     return _result_cache[cache_key]
+
+
+def seed_result(workload: str, gpu: "str | GPUConfig", strategy: str,
+                result: SimResult) -> None:
+    """Inject an already-computed cell into the in-memory layer.
+
+    The parallel runner uses this to make worker results visible to
+    subsequent serial :func:`get_result` calls in the parent process.
+    """
+    config = _gpu_by_name(gpu)
+    _result_cache[_memory_key(workload, config, strategy)] = result
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,9 @@ is why atomic contention (and therefore ARC's speedup) is larger on the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 __all__ = [
     "CostModel",
@@ -176,6 +178,26 @@ class GPUConfig:
     def with_cost(self, **overrides: float) -> "GPUConfig":
         """Return a copy with some :class:`CostModel` fields replaced."""
         return replace(self, cost=replace(self.cost, **overrides))
+
+    def to_dict(self) -> dict:
+        """All architectural parameters (cost/energy models nested) as
+        plain JSON-compatible values."""
+        return asdict(self)
+
+    def fingerprint(self) -> str:
+        """Deterministic content hash over every field, nested models
+        included.
+
+        Two configs with equal fields produce the same digest regardless
+        of construction order or process; any field change (including a
+        single :class:`CostModel` entry) changes it.  This is what keys
+        the persistent experiment cache, so simulation results can never
+        be served for a config they were not produced with.
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 #: Simulated NVIDIA RTX 4090 (paper Table 1, "4090-Sim").

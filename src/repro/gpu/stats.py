@@ -8,7 +8,7 @@ tags), versus time spent doing useful math and instruction issue.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.gpu.config import GPUConfig
 
@@ -124,6 +124,27 @@ class SimResult:
         if self.total_cycles <= 0:
             raise ValueError("cannot compute speedup of an empty simulation")
         return baseline.total_cycles / self.total_cycles
+
+    # ------------------------------------------------------------------ #
+    # Serialization (persistent experiment cache, worker transport)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """Every field as JSON-compatible values (``extra`` must be)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Rebuild a result written by :meth:`to_dict`.
+
+        Unknown keys are rejected rather than dropped, so a cache entry
+        written by a different schema never deserializes silently.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimResult fields: {sorted(unknown)}")
+        return cls(**data)
 
     def summary(self) -> str:
         """One-line human-readable digest."""

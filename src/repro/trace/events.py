@@ -14,6 +14,7 @@ and strategy planning are vectorizable.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -169,6 +170,36 @@ class KernelTrace:
     def coalesced(self) -> CoalescedTrace:
         """Cached address-coalescing of every batch (see module docs)."""
         return coalesce_trace(self.lane_slots)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Deterministic content hash of everything the simulator reads.
+
+        Covers lane slots, warp placement, per-batch compute cycles, the
+        parameter/slot shape, butterfly eligibility and (when captured)
+        the gradient values.  The cosmetic :attr:`name` is deliberately
+        excluded: renaming a trace must not invalidate cached simulation
+        results, while any change to simulated content must.
+        """
+        digest = hashlib.sha256()
+        digest.update(b"kernel-trace-v1\0")
+        digest.update(
+            np.array(
+                [self.num_params, self.n_slots, int(self.bfly_eligible)],
+                dtype=np.int64,
+            ).tobytes()
+        )
+        digest.update(self.lane_slots.tobytes())
+        digest.update(self.warp_id.tobytes())
+        compute = self.compute_cycles
+        if np.ndim(compute) == 0:
+            digest.update(np.float64(compute).tobytes())
+        else:
+            digest.update(np.ascontiguousarray(compute, np.float64).tobytes())
+        if self.values is not None:
+            digest.update(b"values\0")
+            digest.update(self.values.tobytes())
+        return digest.hexdigest()
 
     def reference_sums(self) -> np.ndarray:
         """Dense scatter-add of :attr:`values` -- the ground-truth gradient.

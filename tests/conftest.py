@@ -1,0 +1,23 @@
+"""Unit-test isolation for the experiment cache layers.
+
+Every test gets a private, initially empty on-disk cache under its tmp
+dir, and starts from empty in-memory memoization.  Tests that need warm
+or shared cache state build it themselves; nothing can leak between
+tests or into the developer's real ``~/.cache/repro-arc``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import diskcache
+from repro.experiments.runner import clear_caches
+
+
+@pytest.fixture(autouse=True)
+def isolated_experiment_caches(tmp_path):
+    clear_caches()
+    diskcache.configure(root=tmp_path / "repro-cache")
+    yield
+    clear_caches()
+    diskcache.configure()

@@ -1,0 +1,308 @@
+"""Tests for the persistent on-disk simulation cache.
+
+The cache key must change whenever anything that determines a simulation's
+outcome changes -- every GPUConfig field (cost/energy models included),
+the trace's content, or a strategy parameter -- and must be stable across
+instances, dict orderings and processes.  Corrupt entries must degrade to
+re-simulation, never crash, and ``clear_caches(disk=True)`` must leave no
+state behind for the next test to trip over.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import LAB, ArcHW, ArcSWButterfly
+from repro.experiments import diskcache, runner
+from repro.experiments.diskcache import (
+    DiskCache,
+    result_key,
+    strategy_fingerprint,
+)
+from repro.experiments.runner import clear_caches, get_result, seed_trace
+from repro.gpu import RTX3060_SIM, RTX4090_SIM
+from repro.gpu.config import CostModel, EnergyModel
+from repro.trace import coalesced_trace
+
+BASE_TRACE = coalesced_trace(n_batches=64, num_params=4, seed=7, name="base")
+BASE_STRATEGY = ArcSWButterfly(8)
+
+
+def base_key():
+    return result_key(RTX3060_SIM, BASE_TRACE, BASE_STRATEGY)
+
+
+# --------------------------------------------------------------------- #
+# Key sensitivity: every input field must matter
+# --------------------------------------------------------------------- #
+
+
+GPU_FIELD_PERTURBATIONS = {
+    "name": "other-name",
+    "num_sms": RTX3060_SIM.num_sms + 1,
+    "subcores_per_sm": RTX3060_SIM.subcores_per_sm + 1,
+    "num_rops": RTX3060_SIM.num_rops + RTX3060_SIM.num_partitions,
+    "num_partitions": 6,  # still divides 48 ROPs evenly
+    "lsu_queue_depth": RTX3060_SIM.lsu_queue_depth + 1,
+    "interconnect_bw": RTX3060_SIM.interconnect_bw * 2,
+    "clock_ghz": RTX3060_SIM.clock_ghz + 0.1,
+    "registers_per_sm": RTX3060_SIM.registers_per_sm + 1,
+    "l1_kib_per_sm": RTX3060_SIM.l1_kib_per_sm + 1,
+    "l2_mib": RTX3060_SIM.l2_mib + 0.5,
+    "dram_channels": RTX3060_SIM.dram_channels + 1,
+    "dram_banks": RTX3060_SIM.dram_banks + 1,
+    "dram_gib": RTX3060_SIM.dram_gib + 1,
+}
+
+
+@pytest.mark.parametrize("field", sorted(GPU_FIELD_PERTURBATIONS))
+def test_key_changes_with_every_gpu_field(field):
+    changed = dataclasses.replace(
+        RTX3060_SIM, **{field: GPU_FIELD_PERTURBATIONS[field]}
+    )
+    assert result_key(changed, BASE_TRACE, BASE_STRATEGY) != base_key()
+
+
+@pytest.mark.parametrize(
+    "field", [f.name for f in dataclasses.fields(CostModel)]
+)
+def test_key_changes_with_every_cost_model_field(field):
+    changed = RTX3060_SIM.with_cost(
+        **{field: getattr(RTX3060_SIM.cost, field) + 1.0}
+    )
+    assert result_key(changed, BASE_TRACE, BASE_STRATEGY) != base_key()
+
+
+@pytest.mark.parametrize(
+    "field", [f.name for f in dataclasses.fields(EnergyModel)]
+)
+def test_key_changes_with_every_energy_model_field(field):
+    changed = dataclasses.replace(
+        RTX3060_SIM,
+        energy=dataclasses.replace(
+            RTX3060_SIM.energy,
+            **{field: getattr(RTX3060_SIM.energy, field) + 1.0},
+        ),
+    )
+    assert result_key(changed, BASE_TRACE, BASE_STRATEGY) != base_key()
+
+
+def test_key_changes_with_trace_content():
+    variants = []
+    flipped = BASE_TRACE.lane_slots.copy()
+    flipped[0, 0] = (flipped[0, 0] + 1) % BASE_TRACE.n_slots
+    variants.append(dataclasses.replace(BASE_TRACE, lane_slots=flipped))
+    variants.append(dataclasses.replace(BASE_TRACE, num_params=5))
+    variants.append(dataclasses.replace(BASE_TRACE, n_slots=512))
+    variants.append(dataclasses.replace(BASE_TRACE, bfly_eligible=False))
+    variants.append(dataclasses.replace(BASE_TRACE, compute_cycles=130.0))
+    variants.append(
+        dataclasses.replace(BASE_TRACE, warp_id=BASE_TRACE.warp_id[::-1])
+    )
+    variants.append(coalesced_trace(n_batches=64, num_params=4, seed=8))
+    keys = {result_key(RTX3060_SIM, v, BASE_STRATEGY) for v in variants}
+    assert base_key() not in keys
+    assert len(keys) == len(variants)  # all pairwise distinct too
+
+
+def test_trace_name_is_cosmetic():
+    renamed = dataclasses.replace(BASE_TRACE, name="renamed")
+    assert result_key(RTX3060_SIM, renamed, BASE_STRATEGY) == base_key()
+
+
+def test_key_changes_with_strategy_parameters():
+    keys = {
+        result_key(RTX3060_SIM, BASE_TRACE, strategy)
+        for strategy in (
+            ArcSWButterfly(8),
+            ArcSWButterfly(16),
+            ArcHW(),
+            ArcHW(policy="always"),
+            ArcHW(stall_threshold=0.5),
+            LAB(),
+            LAB(capacity_fraction=0.25),
+        )
+    }
+    assert len(keys) == 7
+
+
+def test_key_stable_across_instances_and_gpus():
+    assert result_key(RTX3060_SIM, BASE_TRACE, ArcSWButterfly(8)) == base_key()
+    assert (
+        result_key(RTX4090_SIM, BASE_TRACE, BASE_STRATEGY) != base_key()
+    )
+
+
+def test_strategy_fingerprint_is_sorted_json():
+    text = strategy_fingerprint(ArcHW(policy="always"))
+    params = json.loads(text)["params"]
+    assert params["policy"] == "always"
+    assert list(params) == sorted(params)
+
+
+def test_key_stable_across_processes():
+    """The key must not depend on per-process state (hash randomization,
+    dict ordering, import order)."""
+    script = (
+        "from repro.experiments.diskcache import result_key\n"
+        "from repro.gpu import RTX3060_SIM\n"
+        "from repro.trace import coalesced_trace\n"
+        "from repro.core import ArcSWButterfly\n"
+        "trace = coalesced_trace(n_batches=64, num_params=4, seed=7,"
+        " name='base')\n"
+        "print(result_key(RTX3060_SIM, trace, ArcSWButterfly(8)))\n"
+    )
+    env = dict(os.environ, PYTHONHASHSEED="12345")
+    env["PYTHONPATH"] = (
+        str(Path(__file__).resolve().parents[1] / "src")
+        + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True,
+        text=True, check=True,
+    )
+    assert out.stdout.strip() == base_key()
+
+
+# --------------------------------------------------------------------- #
+# Storage behaviour: round trips, corruption, persistence
+# --------------------------------------------------------------------- #
+
+
+def simulated_result():
+    return runner.simulate_cell(BASE_TRACE, RTX3060_SIM, ArcSWButterfly(8))
+
+
+def test_round_trip_equality(tmp_path):
+    cache = DiskCache(tmp_path)
+    result = simulated_result()
+    cache.store(base_key(), result)
+    assert cache.load(base_key()) == result
+    assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+
+def test_cold_lookup_is_a_miss(tmp_path):
+    cache = DiskCache(tmp_path)
+    assert cache.load(base_key()) is None
+    assert cache.stats.misses == 1 and cache.stats.errors == 0
+
+
+def test_persists_across_cache_instances(tmp_path):
+    DiskCache(tmp_path).store(base_key(), simulated_result())
+    fresh = DiskCache(tmp_path)  # a later session
+    assert fresh.load(base_key()) == simulated_result()
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    ["truncate", "garbage", "wrong_version", "foreign_schema"],
+)
+def test_corrupt_entry_falls_back_to_miss(tmp_path, corruption):
+    cache = DiskCache(tmp_path)
+    cache.store(base_key(), simulated_result())
+    [entry] = cache.entries()
+    if corruption == "truncate":
+        entry.write_text(entry.read_text()[: entry.stat().st_size // 2])
+    elif corruption == "garbage":
+        entry.write_bytes(b"\x00\xffnot json at all")
+    elif corruption == "wrong_version":
+        payload = json.loads(entry.read_text())
+        payload["format"] = 999
+        entry.write_text(json.dumps(payload))
+    else:
+        entry.write_text(json.dumps(
+            {"format": 1, "key": base_key(),
+             "result": {"no_such_field": 1}}
+        ))
+    assert cache.load(base_key()) is None
+    assert cache.stats.errors == 1
+    assert not entry.exists(), "corrupt entry should be evicted"
+
+
+def test_get_result_survives_corruption(monkeypatch):
+    calls = []
+    real = runner.simulate_kernel
+    monkeypatch.setattr(
+        runner, "simulate_kernel",
+        lambda *a, **k: calls.append(1) or real(*a, **k),
+    )
+    seed_trace("WX", BASE_TRACE)
+    first = get_result("WX", "3060-Sim", "ARC-SW-B-8")
+    assert len(calls) == 1
+    for entry in diskcache.active_cache().entries():
+        entry.write_text("garbage")
+    clear_caches()  # drop memory; disk is now corrupt
+    seed_trace("WX", BASE_TRACE)
+    again = get_result("WX", "3060-Sim", "ARC-SW-B-8")
+    assert len(calls) == 2, "corruption must re-simulate, not crash"
+    assert again == first
+
+
+# --------------------------------------------------------------------- #
+# Layered lookup and isolation (the clear_caches gap)
+# --------------------------------------------------------------------- #
+
+
+def test_memory_then_disk_then_simulate(monkeypatch):
+    calls = []
+    real = runner.simulate_kernel
+    monkeypatch.setattr(
+        runner, "simulate_kernel",
+        lambda *a, **k: calls.append(1) or real(*a, **k),
+    )
+    seed_trace("WX", BASE_TRACE)
+    first = get_result("WX", "3060-Sim", "baseline")
+    second = get_result("WX", "3060-Sim", "baseline")
+    assert second is first and len(calls) == 1  # memory hit
+    clear_caches()
+    seed_trace("WX", BASE_TRACE)
+    third = get_result("WX", "3060-Sim", "baseline")
+    assert len(calls) == 1, "warm disk cache must not re-simulate"
+    assert third == first and third is not first  # disk hit
+
+
+def test_no_cross_test_leakage_after_full_clear(monkeypatch):
+    """``clear_caches(disk=True)`` wipes both layers: content registered
+    later under the same workload key can never be served stale results."""
+    trace_a = coalesced_trace(n_batches=64, num_params=4, seed=1, name="W")
+    trace_b = coalesced_trace(n_batches=64, num_params=4, seed=2, name="W")
+    seed_trace("W", trace_a)
+    result_a = get_result("W", "3060-Sim", "baseline")
+    assert diskcache.active_cache().entries()
+
+    clear_caches(disk=True)
+    assert diskcache.active_cache().entries() == []
+
+    seed_trace("W", trace_b)
+    result_b = get_result("W", "3060-Sim", "baseline")
+    assert result_b != result_a, "stale result leaked across the clear"
+
+
+def test_memory_only_clear_keeps_disk_warm():
+    seed_trace("W", BASE_TRACE)
+    get_result("W", "3060-Sim", "baseline")
+    n_entries = len(diskcache.active_cache().entries())
+    clear_caches()
+    assert len(diskcache.active_cache().entries()) == n_entries
+
+
+def test_disabled_cache_simulates_every_time(monkeypatch):
+    diskcache.configure(enabled=False)
+    assert diskcache.active_cache() is None
+    calls = []
+    real = runner.simulate_kernel
+    monkeypatch.setattr(
+        runner, "simulate_kernel",
+        lambda *a, **k: calls.append(1) or real(*a, **k),
+    )
+    seed_trace("WX", BASE_TRACE)
+    get_result("WX", "3060-Sim", "baseline")
+    clear_caches()
+    seed_trace("WX", BASE_TRACE)
+    get_result("WX", "3060-Sim", "baseline")
+    assert len(calls) == 2
