@@ -9,14 +9,20 @@ scratch.  This module adds a durable layer below it: each simulated
 * every :class:`~repro.gpu.config.GPUConfig` field (cost and energy
   models included), via :meth:`GPUConfig.fingerprint`;
 * the kernel trace's content, via :attr:`KernelTrace.fingerprint`;
-* the strategy's class, report name and constructor parameters.
+* the strategy's class, report name and constructor parameters;
+* the simulation engine's own source code, via
+  :func:`engine_fingerprint` -- the inputs above say *what* is
+  simulated, this says *by which* simulator.
 
 Because the key is derived from content rather than names, a cached entry
 can never be served for inputs it was not produced with -- editing a cost
-model entry, re-capturing a trace differently, or changing a balancing
-threshold all change the key.  Conversely the key is stable across
-processes, dict orderings and sessions, which is what makes warm reruns
-skip :func:`~repro.gpu.engine.simulate_kernel` entirely.
+model entry, re-capturing a trace differently, changing a balancing
+threshold, or modifying the engine itself all change the key, so a warm
+cache (a developer's ``~/.cache/repro-arc``, a restored CI snapshot)
+degrades to misses rather than serving results an older engine computed.
+Conversely the key is stable across processes, dict orderings and
+sessions, which is what makes warm reruns skip
+:func:`~repro.gpu.engine.simulate_kernel` entirely.
 
 Layout: ``<root>/results/<first two hex chars>/<sha256>.json``.  Writes
 are atomic (temp file + ``os.replace``) so concurrent worker processes
@@ -37,6 +43,7 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -53,6 +60,8 @@ __all__ = [
     "active_cache",
     "configure",
     "default_cache_dir",
+    "engine_fingerprint",
+    "isolated",
     "result_key",
     "strategy_fingerprint",
 ]
@@ -62,7 +71,7 @@ NO_CACHE_ENV = "REPRO_NO_DISK_CACHE"
 
 #: Bump when the entry schema or keying scheme changes; old entries are
 #: then treated as misses instead of deserializing wrongly.
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 _SCALAR_TYPES = (bool, int, float, str, type(None))
 
@@ -78,23 +87,74 @@ def default_cache_dir() -> Path:
 # Cache keys
 # --------------------------------------------------------------------- #
 
+#: Packages under ``src/repro`` whose source decides a simulation's
+#: outcome for a given (config, trace, strategy): the timing engine, the
+#: strategy implementations, and the trace analysis they consume.
+#: Workloads and renderers are deliberately absent -- they only *produce*
+#: traces, whose content is hashed separately.
+_ENGINE_PACKAGES = ("core", "gpu", "trace")
+
+_engine_fingerprint: "str | None" = None
+
+
+def engine_fingerprint(root: "Path | None" = None) -> str:
+    """Content hash of the simulation engine's own source code.
+
+    Covers every ``.py`` file (path and bytes) of :data:`_ENGINE_PACKAGES`.
+    The other key components identify *what* is simulated; this one
+    identifies *which engine* simulated it, so editing ``simulate_kernel``
+    or a strategy invalidates every previously cached result instead of
+    letting a warm cache serve numbers the old engine computed.
+
+    The process-wide value (``root=None``, hashing the installed
+    ``repro`` package) is computed once and cached: source files do not
+    change under a running process.  Tests pass an explicit *root* to
+    fingerprint a synthetic tree.
+    """
+    global _engine_fingerprint
+    if root is None and _engine_fingerprint is not None:
+        return _engine_fingerprint
+    base = Path(__file__).resolve().parents[1] if root is None else Path(root)
+    digest = hashlib.sha256()
+    digest.update(b"engine-src-v1\0")
+    for package in _ENGINE_PACKAGES:
+        for path in sorted((base / package).glob("*.py")):
+            digest.update(f"{package}/{path.name}".encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    value = digest.hexdigest()
+    if root is None:
+        _engine_fingerprint = value
+    return value
+
 
 def strategy_fingerprint(strategy: AtomicStrategy) -> str:
     """Canonical identity of a freshly constructed strategy.
 
-    Covers the class, the report name and every public scalar attribute
-    set by the constructor (balancing threshold, scheduler policy, buffer
+    Covers the class, the report name and every public attribute set by
+    the constructor (balancing threshold, scheduler policy, buffer
     capacity fraction, ...).  Private per-launch state (underscored, set
     by ``begin_kernel``) is excluded: it does not exist at planning time
     and never affects which simulation the strategy performs.
+
+    Only scalar parameters are supported; a strategy carrying a
+    non-scalar public attribute raises :class:`TypeError` rather than
+    being silently under-keyed, which would let two differently-behaving
+    strategies collide on one cache entry.
     """
-    params = {
-        key: value
-        for key, value in vars(strategy).items()
-        if not key.startswith("_")
-        and key != "name"
-        and isinstance(value, _SCALAR_TYPES)
-    }
+    params = {}
+    for key, value in vars(strategy).items():
+        if key.startswith("_") or key == "name":
+            continue
+        if not isinstance(value, _SCALAR_TYPES):
+            raise TypeError(
+                f"cannot fingerprint {type(strategy).__name__}.{key}: "
+                f"{type(value).__name__} parameters are not supported by "
+                "the cache key scheme (extend strategy_fingerprint with a "
+                "canonical encoding before caching this strategy)"
+            )
+        params[key] = value
     return json.dumps(
         {
             "class": type(strategy).__name__,
@@ -113,6 +173,7 @@ def result_key(
     payload = json.dumps(
         {
             "format": _FORMAT_VERSION,
+            "engine": engine_fingerprint(),
             "gpu": config.fingerprint(),
             "trace": trace.fingerprint,
             "strategy": strategy_fingerprint(strategy),
@@ -283,3 +344,22 @@ def active_cache() -> "DiskCache | None":
     if _cache is None:
         _cache = DiskCache()
     return _cache
+
+
+@contextmanager
+def isolated(root: "str | Path"):
+    """Temporarily point the process-wide cache at a private *root*.
+
+    Test fixtures use this to give one test throwaway disk-cache state:
+    unlike clearing the active cache in place -- which would wipe a
+    developer's real ``~/.cache/repro-arc`` -- the shared cache is left
+    untouched and restored (object, session stats, enabled/disabled
+    override) on exit.
+    """
+    global _cache, _disabled_override
+    saved = (_cache, _disabled_override)
+    _cache = DiskCache(root)
+    try:
+        yield _cache
+    finally:
+        _cache, _disabled_override = saved

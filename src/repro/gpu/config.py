@@ -193,11 +193,20 @@ class GPUConfig:
         single :class:`CostModel` entry) changes it.  This is what keys
         the persistent experiment cache, so simulation results can never
         be served for a config they were not produced with.
+
+        Computed once per instance: the dataclass is frozen, so the
+        digest can be memoized on the object, keeping hot in-memory
+        memoization lookups (which key on it) a cheap dict access rather
+        than a recursive ``asdict`` + hash on every call.
         """
-        payload = json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            payload = json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
 
 #: Simulated NVIDIA RTX 4090 (paper Table 1, "4090-Sim").

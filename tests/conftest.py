@@ -17,7 +17,6 @@ from repro.experiments.runner import clear_caches
 @pytest.fixture(autouse=True)
 def isolated_experiment_caches(tmp_path):
     clear_caches()
-    diskcache.configure(root=tmp_path / "repro-cache")
-    yield
+    with diskcache.isolated(tmp_path / "repro-cache"):
+        yield
     clear_caches()
-    diskcache.configure()

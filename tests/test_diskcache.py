@@ -145,6 +145,66 @@ def test_strategy_fingerprint_is_sorted_json():
     assert list(params) == sorted(params)
 
 
+def test_strategy_fingerprint_rejects_non_scalar_params():
+    """A non-scalar constructor parameter must fail loudly, not be
+    silently dropped (which would collide differently-behaving
+    strategies onto one cache entry)."""
+
+    class ListParamStrategy(ArcSWButterfly):
+        def __init__(self, thresholds):
+            super().__init__(thresholds[0])
+            self.thresholds = thresholds
+
+    with pytest.raises(TypeError, match="thresholds"):
+        strategy_fingerprint(ListParamStrategy([8, 16]))
+
+
+def test_every_registry_strategy_is_fingerprintable():
+    """All shipped strategies use scalar parameters only, so the loud
+    non-scalar rejection never fires on the real registry."""
+    for name in runner.STRATEGY_FACTORIES:
+        text = strategy_fingerprint(runner.make_strategy(name))
+        json.loads(text)  # canonical JSON, parseable
+
+
+def test_key_changes_with_engine_identity(monkeypatch):
+    """Editing the simulation engine must invalidate every entry: a warm
+    cache may never serve results computed by a different engine."""
+    unperturbed = base_key()
+    monkeypatch.setattr(diskcache, "_engine_fingerprint", "0" * 64)
+    assert base_key() != unperturbed
+
+
+def test_engine_fingerprint_tracks_source_content(tmp_path):
+    def make_tree(root, engine_body):
+        for package in ("core", "gpu", "trace"):
+            pkg = root / package
+            pkg.mkdir(parents=True)
+            (pkg / "__init__.py").write_text("")
+        (root / "gpu" / "engine.py").write_text(engine_body)
+        return root
+
+    a = make_tree(tmp_path / "a", "CYCLES = 1\n")
+    b = make_tree(tmp_path / "b", "CYCLES = 1\n")
+    c = make_tree(tmp_path / "c", "CYCLES = 2\n")
+    assert diskcache.engine_fingerprint(a) == diskcache.engine_fingerprint(b)
+    assert diskcache.engine_fingerprint(a) != diskcache.engine_fingerprint(c)
+    # Renaming a file changes the fingerprint even with identical bytes.
+    (b / "gpu" / "engine.py").rename(b / "gpu" / "engine2.py")
+    assert diskcache.engine_fingerprint(a) != diskcache.engine_fingerprint(b)
+
+
+def test_engine_fingerprint_covers_installed_engine():
+    """The process-wide fingerprint hashes the real repro packages and
+    is stable within a process (source files do not change under us)."""
+    first = diskcache.engine_fingerprint()
+    assert first == diskcache.engine_fingerprint()
+    import repro.gpu.engine as engine_mod
+
+    root = Path(engine_mod.__file__).resolve().parents[1]
+    assert diskcache.engine_fingerprint(root) == first
+
+
 def test_key_stable_across_processes():
     """The key must not depend on per-process state (hash randomization,
     dict ordering, import order)."""
@@ -289,6 +349,31 @@ def test_memory_only_clear_keeps_disk_warm():
     n_entries = len(diskcache.active_cache().entries())
     clear_caches()
     assert len(diskcache.active_cache().entries()) == n_entries
+
+
+def test_isolated_repoints_then_restores(tmp_path):
+    """``diskcache.isolated`` gives the block private disk state and
+    restores the previous cache object (stats included) -- it never
+    clears the shared cache in place."""
+    outer = diskcache.active_cache()
+    outer.store(base_key(), simulated_result())
+    outer_entries = outer.entries()
+    with diskcache.isolated(tmp_path / "inner") as inner:
+        assert diskcache.active_cache() is inner
+        assert inner.root == tmp_path / "inner"
+        assert inner.entries() == []  # private, initially empty
+        inner.store(base_key(), simulated_result())
+    assert diskcache.active_cache() is outer
+    assert outer.entries() == outer_entries, "shared cache was touched"
+
+
+def test_isolated_restores_disabled_override(tmp_path):
+    """A ``configure(enabled=...)`` issued inside the block cannot leak
+    out of it."""
+    with diskcache.isolated(tmp_path / "inner"):
+        diskcache.configure(enabled=False)
+        assert diskcache.active_cache() is None
+    assert diskcache.active_cache() is not None
 
 
 def test_disabled_cache_simulates_every_time(monkeypatch):

@@ -95,14 +95,32 @@ def test_fig22_arc_sw_grad_speedups_pinned():
         assert_pinned(best_grad, pinned_best, ("fig22", gpu, key, "best"))
 
 
-def test_fig18_recorded_aggregate_shape():
-    """The recorded full-set aggregates still satisfy the paper's
-    qualitative claims (guards against regenerating the JSONs from a
-    broken engine and blessing the drift)."""
-    rows = load_rows("fig18_arc_hw_3060")
-    means = {
+def recorded_means(figure: str) -> dict:
+    rows = load_rows(figure)
+    return {
         strategy: arithmetic_mean(row[i + 1] for row in rows)
         for i, strategy in enumerate(FIG18_19_STRATEGIES)
     }
+
+
+@pytest.mark.parametrize(
+    "figure", ["fig18_arc_hw_3060", "fig19_arc_hw_4090"]
+)
+def test_fig18_19_recorded_aggregate_shape(figure):
+    """The recorded full-set aggregates still satisfy the paper's
+    qualitative claims (guards against regenerating the JSONs from a
+    broken engine and blessing the drift)."""
+    means = recorded_means(figure)
     assert means["ARC-HW"] > means["LAB-ideal"] > means["PHI"]
     assert means["ARC-HW"] > 1.5
+    assert 0.7 < means["PHI"] < 1.5
+
+
+def test_fig18_19_recorded_cross_gpu_shape():
+    """Paper §7.1: ARC-HW's mean speedup is larger on the 4090 (worse
+    SM:ROP ratio) than on the 3060 -- must hold across the *recorded*
+    figures too, not just fresh simulation."""
+    assert (
+        recorded_means("fig19_arc_hw_4090")["ARC-HW"]
+        > recorded_means("fig18_arc_hw_3060")["ARC-HW"]
+    )

@@ -83,3 +83,23 @@ def test_simulated_gpus_registry_keys():
     for name, gpu in SIMULATED_GPUS.items():
         assert isinstance(gpu, GPUConfig)
         assert gpu.name == name
+
+
+def test_fingerprint_memoized_per_instance():
+    """The digest is computed once and cached on the (frozen) instance:
+    in-memory memoization keys on it for every get_result call, so it
+    must stay a cheap attribute read, and the cache must not leak into
+    field-based equality or serialization."""
+    config = dataclasses.replace(RTX4090_SIM)
+    first = config.fingerprint()
+    assert config.fingerprint() is first  # cached, not recomputed
+    assert first == RTX4090_SIM.fingerprint()  # content, not identity
+    assert "_fingerprint" not in config.to_dict()
+    assert config == dataclasses.replace(RTX4090_SIM)
+
+
+def test_fingerprint_cache_not_inherited_by_copies():
+    config = dataclasses.replace(RTX4090_SIM)
+    config.fingerprint()
+    ablated = config.with_cost(atomic_service=99.0)
+    assert ablated.fingerprint() != config.fingerprint()
