@@ -9,6 +9,7 @@ Thin wrappers over the library for the common one-off questions:
 * ``breakdown``  -- training-time phase breakdown (Figure 4).
 * ``tune``       -- balancing-threshold sweep (§5.5.3 / Figure 23).
 * ``cache``      -- inspect or clear the persistent simulation cache.
+* ``lint``       -- arclint domain-invariant static analysis (ARC001-4).
 
 ``simulate`` accepts ``--jobs N`` to fan cells across worker processes
 and ``--no-cache`` to bypass the persistent disk cache; both paths are
@@ -108,6 +109,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument(
         "--clear", action="store_true", help="delete every cached result"
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run arclint, the domain-invariant static analysis "
+             "(fingerprint-completeness, determinism, unit-safety, "
+             "strategy-conformance)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the installed "
+             "repro package source)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE", default=".arclint-baseline.json",
+        help="baseline file of grandfathered findings "
+             "(default: .arclint-baseline.json in the working directory)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    lint.add_argument(
+        "--fix-baseline", action="store_true",
+        help="regenerate the baseline from the current findings "
+             "(sorted, content-addressed; byte-stable for identical "
+             "findings) and exit 0",
     )
     return parser
 
@@ -250,6 +282,35 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.lint import run_lint, write_baseline
+
+    paths = args.paths or [Path(repro.__file__).parent]
+    baseline = None if args.no_baseline else args.baseline
+    if args.fix_baseline:
+        # Regenerate from scratch: every unsuppressed finding becomes a
+        # grandfathered entry, and stale entries disappear.
+        report = run_lint(paths, baseline_path=None)
+        count = write_baseline(args.baseline, report.new)
+        print(f"wrote {count} baseline entr(ies) to {args.baseline}")
+        return 0
+    report = run_lint(paths, baseline_path=baseline)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+        if report.new:
+            print(
+                "\nnew findings fail the build: fix them, add an inline "
+                "`# arclint: disable=<RULE>` with a justification, or "
+                "grandfather them via `repro lint --fix-baseline`."
+            )
+    return report.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse *argv* (default ``sys.argv``) and run the chosen command."""
     args = _build_parser().parse_args(argv)
@@ -261,6 +322,7 @@ def main(argv: list[str] | None = None) -> int:
         "breakdown": lambda: _cmd_breakdown(args),
         "tune": lambda: _cmd_tune(args),
         "cache": lambda: _cmd_cache(args),
+        "lint": lambda: _cmd_lint(args),
     }
     return handlers[args.command]()
 

@@ -1,0 +1,47 @@
+"""arclint: domain-invariant static analysis for the reproduction.
+
+The tier-1 test suite checks *numbers*; this package checks the
+*invariants those numbers silently depend on* -- the bug class PR 1's
+review cycles were spent on.  An AST-based rule framework
+(:mod:`repro.lint.registry`, :mod:`repro.lint.engine`) runs four domain
+rules (:mod:`repro.lint.rules`):
+
+========  ===========================================================
+ARC001    fingerprint-completeness: every dataclass field reachable
+          from the fingerprint / key schema caching its results
+ARC002    determinism: no global RNG, wall clocks or unordered
+          iteration inside ``repro/{core,gpu,trace}``
+ARC003    unit-safety: ns- and cycle-domain values only combine
+          through an explicit ``clock_ghz`` conversion
+ARC004    strategy-conformance: concrete strategies are exported,
+          implement the interface, and stay cacheable (scalar ctors)
+========  ===========================================================
+
+Findings are suppressed inline (``# arclint: disable=ARC001``) or
+grandfathered in a checked-in, content-addressed baseline
+(:mod:`repro.lint.baseline`).  Entry point: ``repro lint`` (see
+:mod:`repro.cli`) or :func:`run_lint`.
+"""
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.engine import (
+    LintConfig,
+    LintReport,
+    run_lint,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules, register, rule_ids
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "load_baseline",
+    "register",
+    "rule_ids",
+    "run_lint",
+    "write_baseline",
+]

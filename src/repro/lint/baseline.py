@@ -1,0 +1,101 @@
+"""Baseline file: grandfathered findings, content-addressed and diffable.
+
+The baseline is a checked-in JSON document listing findings that predate a
+rule (or are accepted debt).  Entries are keyed by
+:attr:`~repro.lint.findings.Finding.content_id` -- a hash of the rule, the
+file and the offending line's *text* -- so unrelated edits (line-number
+churn) keep entries valid, while fixing or changing a flagged line makes
+its entry *stale*.  Stale entries fail the run: the baseline must shrink
+in the same commit, keeping it an honest ledger rather than a landfill.
+
+:func:`write_baseline` emits entries sorted by id with a stable layout, so
+regeneration (``repro lint --fix-baseline``) produces byte-identical files
+for identical findings and reviewable diffs otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "write_baseline",
+    "diff_against_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: "Path | str | None") -> dict[str, dict]:
+    """Entries by content id; empty when *path* is ``None`` or absent.
+
+    A malformed baseline raises: silently treating it as empty would
+    resurface every grandfathered finding as "new" and fail the build
+    with a misleading report.
+    """
+    if path is None:
+        return {}
+    path = Path(path)
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text())
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version in {path}: "
+            f"{payload.get('version')!r} (expected {BASELINE_VERSION}); "
+            "regenerate with `repro lint --fix-baseline`"
+        )
+    entries = payload.get("entries", [])
+    return {entry["id"]: entry for entry in entries}
+
+
+def write_baseline(path: "Path | str", findings: Iterable[Finding]) -> int:
+    """Write *findings* as the new baseline; returns the entry count.
+
+    Entries carry the human-facing fields (rule, path, message, snippet)
+    purely for reviewability -- only ``id`` participates in matching.
+    """
+    entries = sorted(
+        (
+            {
+                "id": f.content_id,
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "snippet": f.snippet,
+            }
+            for f in findings
+        ),
+        key=lambda entry: entry["id"],
+    )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def diff_against_baseline(
+    findings: Sequence[Finding], baseline: dict[str, dict]
+) -> "tuple[list[Finding], list[Finding], list[dict]]":
+    """Split *findings* into (new, baselined) and report stale entries.
+
+    Stale entries are baseline ids no current finding produced -- the
+    flagged code was fixed or changed, so the entry must be removed.
+    """
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        if finding.content_id in baseline:
+            baselined.append(finding)
+            seen.add(finding.content_id)
+        else:
+            new.append(finding)
+    stale = [
+        entry for key, entry in sorted(baseline.items()) if key not in seen
+    ]
+    return new, baselined, stale

@@ -1,0 +1,14 @@
+"""arclint rule set.
+
+Importing this package registers every rule with
+:mod:`repro.lint.registry`:
+
+* ``ARC001`` fingerprint-completeness (:mod:`.fingerprints`)
+* ``ARC002`` determinism (:mod:`.determinism`)
+* ``ARC003`` unit-safety (:mod:`.units`)
+* ``ARC004`` strategy-conformance (:mod:`.strategies`)
+"""
+
+from repro.lint.rules import determinism, fingerprints, strategies, units
+
+__all__ = ["determinism", "fingerprints", "strategies", "units"]

@@ -8,7 +8,7 @@ synthetic datasets use (§6 of the paper trains each scene from many views).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

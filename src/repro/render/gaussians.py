@@ -10,7 +10,7 @@ quaternion/scale parameters, as the real 3DGS CUDA kernels do).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

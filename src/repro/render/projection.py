@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.render.camera import Camera
-from repro.render.gaussians import GaussianScene, covariance_backward, quat_to_rotation
+from repro.render.gaussians import GaussianScene, covariance_backward
 
 __all__ = ["ProjectedGaussians", "project_gaussians", "project_backward"]
 

@@ -15,7 +15,7 @@ and strategy planning are vectorizable.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np
@@ -172,7 +172,7 @@ class KernelTrace:
         return coalesce_trace(self.lane_slots)
 
     @cached_property
-    def fingerprint(self) -> str:
+    def fingerprint(self) -> str:  # arclint: disable=ARC001 (name is cosmetic, see below)
         """Deterministic content hash of everything the simulator reads.
 
         Covers lane slots, warp placement, per-batch compute cycles, the

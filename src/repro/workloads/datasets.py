@@ -12,7 +12,6 @@ traffic shapes (scattered texels; divergent sphere kernels).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.render.optim import Adam
 from repro.render.splatting import GaussianRenderer

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import DAB, LAB, BaselineAtomic
+from repro.core import DAB, LAB
 from repro.gpu import RTX3060_SIM, simulate_kernel
 from repro.gpu.warp import WARP_SIZE
 from repro.trace import (

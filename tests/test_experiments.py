@@ -1,6 +1,5 @@
 """Tests for the experiment runner (caching, matrices) and reporting."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import runner

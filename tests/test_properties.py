@@ -5,7 +5,6 @@ and ordering properties that every figure implicitly relies on.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.gpu.warp import WARP_SIZE
 from repro.render.rasterizer import (
     ALPHA_MIN,
     N_SCREEN_PARAMS,

@@ -16,7 +16,7 @@ from repro.core import (
 )
 from repro.core.base import EngineView
 from repro.gpu import RTX4090_SIM
-from repro.trace import INACTIVE, KernelTrace
+from repro.trace import KernelTrace
 
 NUM_PARAMS = 10
 COST = RTX4090_SIM.cost

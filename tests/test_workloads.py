@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.trace.analysis import intra_warp_locality, profile_trace
+from repro.trace.analysis import intra_warp_locality
 from repro.workloads import (
     APPLICATIONS,
     WORKLOAD_KEYS,
