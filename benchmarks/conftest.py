@@ -56,22 +56,37 @@ def experiment_execution(request):
     if request.config.getoption("--repro-no-cache"):
         diskcache.configure(enabled=False)
     jobs = request.config.getoption("--repro-jobs")
+    run_report = None
     if jobs > 1:
         from repro.experiments.parallel import run_matrix_parallel
+        from repro.experiments.resilience import RunReport
 
+        run_report = RunReport()
         run_matrix_parallel(
             selected_workloads(),
             list(STRATEGY_FACTORIES),
             list(SIMULATED_GPUS),
             jobs=jobs,
+            report=run_report,
         )
     yield
+    print_lines = []
+    if run_report is not None:
+        from repro.experiments.report import format_run_report
+
+        print_lines.append(
+            format_run_report(run_report, title="pre-warm execution")
+        )
     cache = diskcache.active_cache()
     if cache is not None and cache.stats.lookups:
         from repro.experiments.report import format_cache_stats
 
+        print_lines.append(
+            format_cache_stats(cache.stats, title=f"cache: {cache.root}")
+        )
+    for block in print_lines:
         print()
-        print(format_cache_stats(cache.stats, title=f"cache: {cache.root}"))
+        print(block)
 
 
 @pytest.fixture

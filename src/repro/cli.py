@@ -9,11 +9,14 @@ Thin wrappers over the library for the common one-off questions:
 * ``breakdown``  -- training-time phase breakdown (Figure 4).
 * ``tune``       -- balancing-threshold sweep (§5.5.3 / Figure 23).
 * ``cache``      -- inspect or clear the persistent simulation cache.
-* ``lint``       -- arclint domain-invariant static analysis (ARC001-4).
+* ``lint``       -- arclint domain-invariant static analysis (ARC001-5).
 
 ``simulate`` accepts ``--jobs N`` to fan cells across worker processes
-and ``--no-cache`` to bypass the persistent disk cache; both paths are
-bit-identical to a serial uncached run.
+(default from ``REPRO_JOBS``) and ``--no-cache`` to bypass the
+persistent disk cache; both paths are bit-identical to a serial
+uncached run.  Parallel runs are fault tolerant (retries, per-cell
+timeouts via ``REPRO_CELL_TIMEOUT``, pool-crash recovery, resumable
+manifests) and print a recovery report after the table.
 """
 
 from __future__ import annotations
@@ -55,6 +58,22 @@ def _add_gpu_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for worker counts: a friendly error, not a
+    traceback, on ``--jobs 0`` / ``--jobs -3`` / ``--jobs many``."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid value {text!r}: expected a positive integer"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"invalid value {text!r}: must be a positive integer"
+        )
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -79,8 +98,9 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME", help="strategy names (see `repro list`)",
     )
     simulate.add_argument(
-        "--jobs", "-j", type=int, default=1, metavar="N",
-        help="simulate strategies across N worker processes (default: 1)",
+        "--jobs", "-j", type=_positive_int, default=None, metavar="N",
+        help="simulate strategies across N worker processes "
+             "(default: $REPRO_JOBS, else 1)",
     )
     simulate.add_argument(
         "--no-cache", action="store_true",
@@ -178,15 +198,31 @@ def _cmd_simulate(args) -> int:
     gpu = SIMULATED_GPUS[args.gpu]
     trace = load_workload(args.workload).capture_trace()
     seed_trace(args.workload, trace)
-    if args.jobs > 1:
+    from repro.experiments.parallel import default_jobs
+
+    jobs = args.jobs if args.jobs is not None else default_jobs(fallback=1)
+    run_report = None
+    if jobs > 1:
         # Fan the cells out; results land in the in-memory cache so the
         # table assembly below is pure lookups.
         from repro.experiments.parallel import run_matrix_parallel
-
-        run_matrix_parallel(
-            [args.workload], list(args.strategies), [args.gpu],
-            jobs=args.jobs,
+        from repro.experiments.resilience import (
+            CellExecutionError,
+            RunReport,
         )
+
+        run_report = RunReport()
+        try:
+            run_matrix_parallel(
+                [args.workload], list(args.strategies), [args.gpu],
+                jobs=jobs, report=run_report,
+            )
+        except CellExecutionError as exc:
+            from repro.experiments.report import format_run_report
+
+            print(f"error: {exc}", file=sys.stderr)
+            print(format_run_report(run_report), file=sys.stderr)
+            return 1
     rows = []
     baseline = None
     for name in args.strategies:
@@ -205,6 +241,11 @@ def _cmd_simulate(args) -> int:
         ["strategy", "cycles", "ROP ops", "speedup"], rows,
         title=f"{args.workload} gradient kernel on {gpu.name}",
     ))
+    if run_report is not None:
+        from repro.experiments.report import format_run_report
+
+        print()
+        print(format_run_report(run_report, title="execution"))
     cache = diskcache.active_cache()
     if cache is not None and cache.stats.lookups:
         print()
@@ -274,11 +315,15 @@ def _cmd_cache(args) -> int:
         print(f"cleared {removed} cached results from {cache.root}")
         return 0
     entries = cache.entries()
+    quarantined = cache.quarantined_entries()
     print(f"location: {cache.root}")
     print(f"  (override with {diskcache.CACHE_DIR_ENV}, "
           f"disable with {diskcache.NO_CACHE_ENV}=1)")
     print(f"entries:  {len(entries)}")
     print(f"size:     {cache.size_bytes():,} bytes")
+    if quarantined:
+        print(f"quarantined: {len(quarantined)} corrupt entr(ies) "
+              f"preserved under {cache.quarantine_dir}")
     return 0
 
 

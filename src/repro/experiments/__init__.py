@@ -8,6 +8,8 @@ from repro.experiments.diskcache import (
     result_key,
     strategy_fingerprint,
 )
+from repro.experiments.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.experiments.manifest import RunManifest
 from repro.experiments.parallel import (
     CellSpec,
     default_jobs,
@@ -16,8 +18,16 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.report import (
     format_cache_stats,
+    format_run_report,
     format_speedup_matrix,
     format_table,
+)
+from repro.experiments.resilience import (
+    AttemptRecord,
+    CellExecutionError,
+    CellReport,
+    RetryPolicy,
+    RunReport,
 )
 from repro.experiments.sweeps import (
     SweepPoint,
@@ -50,11 +60,21 @@ __all__ = [
     "configure_disk_cache",
     "result_key",
     "strategy_fingerprint",
+    "AttemptRecord",
+    "CellExecutionError",
+    "CellReport",
     "CellSpec",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "RunManifest",
+    "RunReport",
     "default_jobs",
     "plan_cells",
     "run_matrix_parallel",
     "format_cache_stats",
+    "format_run_report",
     "format_speedup_matrix",
     "SweepPoint",
     "characterization_sweep",

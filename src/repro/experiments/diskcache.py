@@ -27,7 +27,13 @@ sessions, which is what makes warm reruns skip
 Layout: ``<root>/results/<first two hex chars>/<sha256>.json``.  Writes
 are atomic (temp file + ``os.replace``) so concurrent worker processes
 sharing one cache directory can only ever observe complete entries.
-Corrupt or truncated entries are treated as misses and deleted.
+Corrupt or truncated entries are treated as misses and *quarantined*:
+moved under ``<root>/quarantine/`` (never deleted, so a torn write or
+bit-rot incident stays inspectable) and counted in
+:attr:`CacheStats.quarantined`.  Writer temp files orphaned by a killed
+process are swept on cache open once they are clearly abandoned
+(older than one hour -- a live writer holds its temp file for
+milliseconds).
 
 Configuration:
 
@@ -43,6 +49,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -74,6 +81,12 @@ NO_CACHE_ENV = "REPRO_NO_DISK_CACHE"
 _FORMAT_VERSION = 2
 
 _SCALAR_TYPES = (bool, int, float, str, type(None))
+
+#: Writer temp files older than this are orphans of a killed process (a
+#: live writer holds its temp file only between ``mkstemp`` and
+#: ``os.replace``); younger ones may belong to a concurrent worker and
+#: are left alone.
+_TEMP_ORPHAN_AGE_SECONDS = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -197,6 +210,7 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     errors: int = 0
+    quarantined: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
 
@@ -215,6 +229,7 @@ class CacheStats:
             "misses": self.misses,
             "writes": self.writes,
             "errors": self.errors,
+            "quarantined": self.quarantined,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
         }
@@ -228,19 +243,65 @@ class DiskCache:
             root = os.environ.get(CACHE_DIR_ENV) or default_cache_dir()
         self.root = Path(root)
         self.results_dir = self.root / "results"
+        self.quarantine_dir = self.root / "quarantine"
         self.stats = CacheStats()
+        self.swept_temp_files = self._sweep_orphan_temps()
 
-    def _path(self, key: str) -> Path:
+    def entry_path(self, key: str) -> Path:
+        """Where *key*'s committed entry lives (whether or not present)."""
         return self.results_dir / key[:2] / f"{key}.json"
+
+    def _sweep_orphan_temps(self) -> int:
+        """Remove writer temp files abandoned by killed processes.
+
+        Only files older than :data:`_TEMP_ORPHAN_AGE_SECONDS` go: a
+        younger temp file may be a concurrent worker's in-flight write,
+        and sweeping it would fail that writer's ``os.replace``.
+        """
+        if not self.results_dir.is_dir():
+            return 0
+        cutoff = time.time() - _TEMP_ORPHAN_AGE_SECONDS
+        removed = 0
+        for tmp in self.results_dir.glob("*/.*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def _quarantine(self, path: Path) -> "Path | None":
+        """Move a corrupt entry aside instead of destroying evidence.
+
+        The entry lands under ``quarantine/<shard>/`` with its name (a
+        ``.N`` suffix de-duplicates repeat offenders).  Returns the new
+        location, or ``None`` when the move failed and the entry was
+        evicted instead -- a bad entry must never be served twice.
+        """
+        target_dir = self.quarantine_dir / path.parent.name
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / path.name
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = target_dir / f"{path.name}.{suffix}"
+            os.replace(path, target)
+            return target
+        except OSError:
+            path.unlink(missing_ok=True)
+            return None
 
     def load(self, key: str) -> "SimResult | None":
         """Cached result for *key*, or ``None`` on miss/corruption.
 
         A malformed entry (truncated write, garbage bytes, foreign
-        schema) is deleted and counted as a miss: the caller falls back
-        to re-simulating, never crashes.
+        schema) is quarantined and counted as a miss: the caller falls
+        back to re-simulating, never crashes, and the bad bytes stay
+        available under ``quarantine/`` for diagnosis.
         """
-        path = self._path(key)
+        path = self.entry_path(key)
         try:
             text = path.read_text()
             payload = json.loads(text)
@@ -253,7 +314,9 @@ class DiskCache:
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.errors += 1
             self.stats.misses += 1
-            path.unlink(missing_ok=True)
+            if path.exists():
+                self._quarantine(path)
+                self.stats.quarantined += 1
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(text)
@@ -261,7 +324,7 @@ class DiskCache:
 
     def store(self, key: str, result: SimResult) -> None:
         """Atomically persist *result* under *key* (best-effort)."""
-        path = self._path(key)
+        path = self.entry_path(key)
         payload = json.dumps(
             {"format": _FORMAT_VERSION, "key": key,
              "result": result.to_dict()},
@@ -296,11 +359,24 @@ class DiskCache:
             return []
         return sorted(self.results_dir.glob("*/*.json"))
 
+    def quarantined_entries(self) -> list[Path]:
+        """Every quarantined (corrupt, preserved) entry on disk."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(
+            path for path in self.quarantine_dir.glob("*/*")
+            if path.is_file()
+        )
+
     def size_bytes(self) -> int:
         return sum(path.stat().st_size for path in self.entries())
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Quarantined files survive: they are preserved evidence of
+        corruption, not cache state, and are only ever removed by hand.
+        """
         removed = 0
         for path in self.entries():
             path.unlink(missing_ok=True)

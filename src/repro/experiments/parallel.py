@@ -5,7 +5,12 @@ independent simulation, which makes the figure harness embarrassingly
 parallel.  :func:`run_matrix_parallel` plans the same cell list as the
 serial :func:`~repro.experiments.runner.run_matrix`, spools each needed
 trace to disk once, and dispatches the cells over a
-:class:`~concurrent.futures.ProcessPoolExecutor`.
+:class:`~concurrent.futures.ProcessPoolExecutor` -- one future per
+cell, driven by the fault-tolerance loop in
+:mod:`repro.experiments.resilience` (bounded retries, per-cell
+timeouts, pool-crash recovery, in-process serial fallback) and
+journaled by :mod:`repro.experiments.manifest` so interrupted runs
+resume instead of restarting.
 
 Determinism is a hard requirement ("parallel and cached runs produce
 bit-identical results to serial uncached runs"), so the design removes
@@ -16,7 +21,10 @@ every source of divergence:
 * workers never re-capture traces: the parent captures (or recalls) each
   trace exactly once and workers replay the identical ``.npz`` bytes;
 * the simulator itself is deterministic, so cell results are independent
-  of scheduling, worker count and completion order;
+  of scheduling, worker count, completion order -- and of *recovery*:
+  a retried, respawned or fallback-executed cell reruns the identical
+  simulation (retry backoff jitter is itself derived from the cell key,
+  not an RNG);
 * results are reassembled in planning order, which equals serial order.
 
 Workers share the parent's persistent disk cache (same directory), so a
@@ -33,13 +41,28 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from pathlib import Path
 
-from repro.experiments import diskcache, runner
+from repro.experiments import diskcache, faults, runner
+from repro.experiments.manifest import RunManifest
+from repro.experiments.resilience import (
+    CellReport,
+    RetryPolicy,
+    RunReport,
+    run_resilient,
+)
 from repro.experiments.runner import Cell, run_matrix
 from repro.gpu import GPUConfig, SimResult
 from repro.trace.events import KernelTrace
 from repro.trace.io import load_trace, save_trace
 
-__all__ = ["CellSpec", "default_jobs", "plan_cells", "run_matrix_parallel"]
+__all__ = [
+    "JOBS_ENV",
+    "CellSpec",
+    "default_jobs",
+    "plan_cells",
+    "run_matrix_parallel",
+]
+
+JOBS_ENV = "REPRO_JOBS"
 
 
 @dataclass(frozen=True)
@@ -54,9 +77,28 @@ class CellSpec:
     gpu: GPUConfig
     strategy: str
 
+    @property
+    def cell_id(self) -> str:
+        return faults.cell_id(self.workload, self.gpu.name, self.strategy)
 
-def default_jobs() -> int:
-    """Worker count when none is requested (``os.cpu_count``, min 1)."""
+
+def default_jobs(fallback: "int | None" = None) -> int:
+    """Worker count when none is requested.
+
+    ``REPRO_JOBS`` wins when set to a positive integer (other values are
+    ignored); otherwise *fallback* when given, otherwise
+    ``os.cpu_count``.
+    """
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = 0
+        if value > 0:
+            return value
+    if fallback is not None:
+        return fallback
     return max(1, os.cpu_count() or 1)
 
 
@@ -97,6 +139,7 @@ def _worker_init(trace_dir: str, cache_root: "str | None",
     global _worker_trace_dir
     _worker_trace_dir = Path(trace_dir)
     _worker_traces.clear()
+    faults.mark_worker()
     if cache_enabled and cache_root is not None:
         diskcache.configure(root=cache_root, enabled=True)
     else:
@@ -106,17 +149,47 @@ def _worker_init(trace_dir: str, cache_root: "str | None",
 def _worker_trace(workload: str) -> KernelTrace:
     if workload not in _worker_traces:
         if _worker_trace_dir is None:
-            raise RuntimeError("worker used outside run_matrix_parallel")
-        _worker_traces[workload] = load_trace(
-            _worker_trace_dir / f"{workload}.npz"
-        )
+            raise RuntimeError(
+                f"worker asked for the {workload!r} trace before "
+                "_worker_init ran: either this function was called "
+                "outside run_matrix_parallel, or the worker died between "
+                "initialization and its first task and was respawned "
+                "without state"
+            )
+        path = _worker_trace_dir / f"{workload}.npz"
+        if not path.exists():
+            raise FileNotFoundError(
+                f"spooled trace for workload {workload!r} missing at "
+                f"{path}: the parent's spool directory was cleaned up "
+                "(interrupted run?) or the workload was never spooled"
+            )
+        _worker_traces[workload] = load_trace(path)
     return _worker_traces[workload]
 
 
-def _simulate_spec(spec: CellSpec) -> SimResult:
+def _run_spec(spec: CellSpec, attempt: int) -> SimResult:
+    """Worker task: simulate one cell (with fault hooks around it)."""
+    cell = spec.cell_id
+    faults.on_attempt(cell, attempt)
     trace = _worker_trace(spec.workload)
     strategy = runner.make_strategy(spec.strategy)
-    return runner.simulate_cell(trace, spec.gpu, strategy)
+    result = runner.simulate_cell(trace, spec.gpu, strategy)
+    _maybe_corrupt_entry(spec, trace, attempt)
+    return result
+
+
+def _maybe_corrupt_entry(spec: CellSpec, trace: KernelTrace,
+                         attempt: int) -> None:
+    """Apply a planned ``corrupt-cache`` fault to this cell's entry."""
+    if not faults.planned_corruption(spec.cell_id, attempt):
+        return
+    cache = diskcache.active_cache()
+    if cache is None:
+        return
+    key = diskcache.result_key(
+        spec.gpu, trace, runner.make_strategy(spec.strategy)
+    )
+    faults.corrupt_entry(cache.entry_path(key))
 
 
 # --------------------------------------------------------------------- #
@@ -130,21 +203,45 @@ def _spool_traces(workloads: "list[str]", directory: Path) -> None:
         save_trace(runner.get_trace(workload), directory / f"{workload}.npz")
 
 
+def _fallback_spec(spec: CellSpec, attempt: int) -> SimResult:
+    """In-process serial execution for a cell that exhausted its pool
+    retries (graceful degradation; crash/hang faults never fire here)."""
+    faults.on_attempt(spec.cell_id, attempt)
+    trace = runner.get_trace(spec.workload)
+    strategy = runner.make_strategy(spec.strategy)
+    return runner.simulate_cell(trace, spec.gpu, strategy)
+
+
 def run_matrix_parallel(
     workloads: "list[str]",
     strategies: "list[str]",
     gpus: "list[str | GPUConfig]",
     jobs: "int | None" = None,
     skip_inapplicable: bool = True,
+    policy: "RetryPolicy | None" = None,
+    report: "RunReport | None" = None,
+    resume: bool = True,
 ) -> list[Cell]:
-    """Parallel, bit-identical drop-in for :func:`run_matrix`.
+    """Parallel, fault-tolerant, bit-identical drop-in for
+    :func:`run_matrix`.
 
     Dispatches the matrix's cells across *jobs* worker processes
-    (default: all CPUs) and returns the cells in serial order.  Results
-    are also seeded into the parent's in-memory cache, so follow-up
-    serial calls (``speedups_over_baseline``, figure assembly) reuse them
-    without re-simulating.  With ``jobs=1`` this simply delegates to the
-    serial :func:`run_matrix`.
+    (default: ``REPRO_JOBS`` or all CPUs) under *policy* (default:
+    :meth:`RetryPolicy.from_env`): failed cells are retried with
+    deterministic backoff, hung cells time out, a crashed pool is
+    respawned with only unfinished cells requeued, and cells that
+    exhaust retries degrade to in-process serial execution.  Completed
+    cells are journaled (under the active disk cache root) so an
+    interrupted run resumes by re-simulating only the remainder; pass
+    ``resume=False`` to ignore and overwrite any existing journal.
+
+    Pass a :class:`RunReport` as *report* to receive per-cell attempt
+    histories and recovery counters.  Results are returned in planning
+    (== serial) order and seeded into the parent's in-memory cache as
+    they arrive, so follow-up serial calls (``speedups_over_baseline``,
+    figure assembly) reuse them without re-simulating -- and so a
+    Ctrl-C loses nothing already computed.  With ``jobs=1`` this simply
+    delegates to the serial :func:`run_matrix`.
     """
     jobs = default_jobs() if jobs is None else jobs
     if jobs <= 0:
@@ -152,6 +249,8 @@ def run_matrix_parallel(
     if jobs == 1:
         return run_matrix(workloads, strategies, gpus,
                           skip_inapplicable=skip_inapplicable)
+    policy = RetryPolicy.from_env() if policy is None else policy
+    report = RunReport() if report is None else report
 
     specs = plan_cells(workloads, strategies, gpus,
                        skip_inapplicable=skip_inapplicable)
@@ -161,18 +260,81 @@ def run_matrix_parallel(
     cache = diskcache.active_cache()
     cache_root = str(cache.root) if cache is not None else None
 
-    with tempfile.TemporaryDirectory(prefix="repro-traces-") as spool:
-        _spool_traces([spec.workload for spec in specs], Path(spool))
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(specs)),
-            mp_context=get_context("spawn"),
-            initializer=_worker_init,
-            initargs=(spool, cache_root, cache_root is not None),
-        ) as pool:
-            results = list(pool.map(_simulate_spec, specs))
+    # Content-address every cell up front (traces are memoized in the
+    # parent): the same keys address the disk cache, the run manifest
+    # and the per-cell reports.
+    keys = [
+        diskcache.result_key(
+            spec.gpu,
+            runner.get_trace(spec.workload),
+            runner.make_strategy(spec.strategy),
+        )
+        for spec in specs
+    ]
+    report.cells = [
+        CellReport(cell=spec.cell_id, key=key)
+        for spec, key in zip(specs, keys)
+    ]
+    results: dict[int, SimResult] = {}
+
+    manifest = None
+    if cache is not None:
+        manifest = RunManifest.for_run(cache.root / "manifests", keys)
+        if resume:
+            finished = manifest.load()
+            for index, key in enumerate(keys):
+                if key not in finished:
+                    continue
+                cached = cache.load(key)
+                if cached is not None:
+                    results[index] = cached
+                    report.cells[index].source = "manifest"
+
+    def on_result(index: int, result: SimResult) -> None:
+        spec = specs[index]
+        results[index] = result
+        runner.seed_result(spec.workload, spec.gpu, spec.strategy, result)
+        if manifest is not None:
+            manifest.record(keys[index], {
+                "workload": spec.workload,
+                "gpu": spec.gpu.name,
+                "strategy": spec.strategy,
+            })
+        faults.on_completed(spec.cell_id)
+
+    pending = [i for i in range(len(specs)) if i not in results]
+    if pending:
+        with tempfile.TemporaryDirectory(prefix="repro-traces-") as spool:
+            _spool_traces([specs[i].workload for i in pending], Path(spool))
+
+            def pool_factory():
+                return ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending)),
+                    mp_context=get_context("spawn"),
+                    initializer=_worker_init,
+                    initargs=(spool, cache_root, cache_root is not None),
+                )
+
+            run_resilient(
+                pending,
+                pool_factory=pool_factory,
+                submit=lambda pool, index, attempt: pool.submit(
+                    _run_spec, specs[index], attempt
+                ),
+                fallback=lambda index, attempt: _fallback_spec(
+                    specs[index], attempt
+                ),
+                policy=policy,
+                report=report,
+                on_result=on_result,
+            )
+
+    if manifest is not None:
+        manifest.discard()
 
     cells = []
-    for spec, result in zip(specs, results):
+    for index, spec in enumerate(specs):
+        result = results[index]
         runner.seed_result(spec.workload, spec.gpu, spec.strategy, result)
         cells.append(
             Cell(workload=spec.workload, gpu=spec.gpu.name,

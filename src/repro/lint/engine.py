@@ -57,6 +57,9 @@ class LintConfig:
     #: Package directories whose modules feed simulation or fingerprint
     #: state; determinism/conformance rules scope themselves to these.
     engine_packages: tuple[str, ...] = ("core", "gpu", "trace")
+    #: Package directories that drive experiment execution (worker
+    #: pools, futures); the resilience rule scopes itself to these.
+    experiment_packages: tuple[str, ...] = ("experiments",)
     #: Identifier suffixes marking nanosecond- and cycle-valued bindings.
     ns_suffixes: tuple[str, ...] = ("_ns", "_NS")
     cycle_suffixes: tuple[str, ...] = ("_cycles",)

@@ -7,8 +7,15 @@ Importing this package registers every rule with
 * ``ARC002`` determinism (:mod:`.determinism`)
 * ``ARC003`` unit-safety (:mod:`.units`)
 * ``ARC004`` strategy-conformance (:mod:`.strategies`)
+* ``ARC005`` resilient-execution (:mod:`.resilience`)
 """
 
-from repro.lint.rules import determinism, fingerprints, strategies, units
+from repro.lint.rules import (
+    determinism,
+    fingerprints,
+    resilience,
+    strategies,
+    units,
+)
 
-__all__ = ["determinism", "fingerprints", "strategies", "units"]
+__all__ = ["determinism", "fingerprints", "resilience", "strategies", "units"]

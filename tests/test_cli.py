@@ -50,6 +50,45 @@ def test_simulate_table(small_registry, capsys):
     assert main(["simulate", "-s", "nonsense"]) == 2
 
 
+@pytest.mark.parametrize("bad_jobs", ["0", "-3", "many"])
+def test_simulate_rejects_non_positive_jobs(bad_jobs, capsys):
+    """``--jobs 0`` and friends get a friendly argparse error, not a
+    traceback from deep inside the pool machinery."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(["simulate", "--jobs", bad_jobs])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "positive integer" in err
+    assert bad_jobs in err
+
+
+def test_default_jobs_honors_env(monkeypatch):
+    from repro.experiments.parallel import JOBS_ENV, default_jobs
+
+    monkeypatch.setenv(JOBS_ENV, "3")
+    assert default_jobs() == 3
+    assert default_jobs(fallback=1) == 3  # env wins over the fallback
+
+    for bogus in ("0", "-2", "banana", "  "):
+        monkeypatch.setenv(JOBS_ENV, bogus)
+        assert default_jobs(fallback=1) == 1  # ignored, not an error
+
+    monkeypatch.delenv(JOBS_ENV)
+    assert default_jobs(fallback=4) == 4
+    assert default_jobs() >= 1  # cpu_count fallback
+
+
+def test_simulate_parallel_prints_run_report(small_registry, capsys):
+    assert main([
+        "simulate", "-w", "3D-LE", "-g", "3060-Sim",
+        "-s", "baseline", "ARC-HW", "--jobs", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "execution" in out
+    assert "2 cells" in out
+
+
 def test_train(small_registry, capsys):
     assert main(["train", "-w", "3D-LE", "-n", "3"]) == 0
     out = capsys.readouterr().out

@@ -4,8 +4,9 @@ The cache key must change whenever anything that determines a simulation's
 outcome changes -- every GPUConfig field (cost/energy models included),
 the trace's content, or a strategy parameter -- and must be stable across
 instances, dict orderings and processes.  Corrupt entries must degrade to
-re-simulation, never crash, and ``clear_caches(disk=True)`` must leave no
-state behind for the next test to trip over.
+re-simulation (quarantined as evidence, never deleted, never crashing),
+and ``clear_caches(disk=True)`` must leave no state behind for the next
+test to trip over.
 """
 
 import dataclasses
@@ -13,6 +14,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -281,7 +283,57 @@ def test_corrupt_entry_falls_back_to_miss(tmp_path, corruption):
         ))
     assert cache.load(base_key()) is None
     assert cache.stats.errors == 1
-    assert not entry.exists(), "corrupt entry should be evicted"
+    assert cache.stats.quarantined == 1
+    assert not entry.exists(), "a bad entry must never be served twice"
+    [quarantined] = cache.quarantined_entries()
+    assert quarantined.name == entry.name, "evidence must be preserved"
+    assert quarantined.is_relative_to(cache.quarantine_dir)
+
+
+def test_repeat_corruption_quarantines_under_distinct_names(tmp_path):
+    cache = DiskCache(tmp_path)
+    for _ in range(3):
+        cache.store(base_key(), simulated_result())
+        [entry] = cache.entries()
+        entry.write_bytes(b"\x00garbage")
+        assert cache.load(base_key()) is None
+    names = [path.name for path in cache.quarantined_entries()]
+    assert names == [
+        f"{base_key()}.json",
+        f"{base_key()}.json.1",
+        f"{base_key()}.json.2",
+    ]
+    assert cache.stats.quarantined == 3
+
+
+def test_clear_preserves_quarantined_entries(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.store(base_key(), simulated_result())
+    [entry] = cache.entries()
+    entry.write_bytes(b"torn")
+    assert cache.load(base_key()) is None
+    cache.store(base_key(), simulated_result())
+    assert cache.clear() == 1
+    assert cache.entries() == []
+    assert len(cache.quarantined_entries()) == 1
+
+
+def test_open_sweeps_only_abandoned_temp_files(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.store(base_key(), simulated_result())
+    shard = cache.entry_path(base_key()).parent
+    stale = shard / ".deadbeef-stale.tmp"
+    stale.write_text("half-written entry of a killed worker")
+    ancient = time.time() - 2 * diskcache._TEMP_ORPHAN_AGE_SECONDS
+    os.utime(stale, (ancient, ancient))
+    fresh = shard / ".cafef00d-live.tmp"
+    fresh.write_text("a concurrent worker's in-flight write")
+
+    reopened = DiskCache(tmp_path)
+    assert reopened.swept_temp_files == 1
+    assert not stale.exists()
+    assert fresh.exists(), "young temp files may be live writers"
+    assert reopened.load(base_key()) is not None  # entries untouched
 
 
 def test_get_result_survives_corruption(monkeypatch):

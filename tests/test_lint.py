@@ -374,6 +374,53 @@ def test_arc004_inherited_interface_through_internal_base(tmp_path):
 
 
 # --------------------------------------------------------------------- #
+# ARC005 resilient-execution
+# --------------------------------------------------------------------- #
+
+
+def test_arc005_flags_executor_map_in_experiments(tmp_path):
+    report = lint(tmp_path, {"experiments/run.py": (
+        "def run(pool, cells):\n"
+        "    return list(pool.map(simulate, cells))\n"
+    )})
+    assert rules_found(report) == {"ARC005"}
+    assert ".map()" in report.new[0].message
+
+
+def test_arc005_flags_unbounded_future_waits(tmp_path):
+    report = lint(tmp_path, {"experiments/run.py": (
+        "def drain(futures):\n"
+        "    first = futures[0].result()\n"
+        "    why = futures[1].exception()\n"
+        "    return first, why\n"
+    )})
+    assert rules_found(report) == {"ARC005"}
+    assert len(report.new) == 2
+    assert all("timeout" in f.message for f in report.new)
+
+
+def test_arc005_timeout_and_non_executor_map_pass(tmp_path):
+    report = lint(tmp_path, {"experiments/run.py": (
+        "def run(executor, futures, series):\n"
+        "    done = futures[0].result(timeout=0)\n"
+        "    late = futures[1].result(30.0)\n"
+        "    mapped = series.map(str)\n"  # not a pool/executor receiver
+        "    return done, late, mapped\n"
+    )})
+    assert report.new == []
+
+
+def test_arc005_is_scoped_to_experiment_packages(tmp_path):
+    # The same anti-pattern outside the experiment-execution packages is
+    # out of scope (workloads/benchmarks do not drive worker pools).
+    report = lint(tmp_path, {"workloads/run.py": (
+        "def run(pool, cells):\n"
+        "    return list(pool.map(simulate, cells))\n"
+    )})
+    assert report.new == []
+
+
+# --------------------------------------------------------------------- #
 # Suppressions
 # --------------------------------------------------------------------- #
 
