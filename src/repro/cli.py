@@ -9,7 +9,7 @@ Thin wrappers over the library for the common one-off questions:
 * ``breakdown``  -- training-time phase breakdown (Figure 4).
 * ``tune``       -- balancing-threshold sweep (§5.5.3 / Figure 23).
 * ``cache``      -- inspect or clear the persistent simulation cache.
-* ``lint``       -- arclint domain-invariant static analysis (ARC001-5).
+* ``lint``       -- arclint domain-invariant static analysis (ARC001-8).
 
 ``simulate`` accepts ``--jobs N`` to fan cells across worker processes
 (default from ``REPRO_JOBS``) and ``--no-cache`` to bypass the
@@ -17,24 +17,16 @@ persistent disk cache; both paths are bit-identical to a serial
 uncached run.  Parallel runs are fault tolerant (retries, per-cell
 timeouts via ``REPRO_CELL_TIMEOUT``, pool-crash recovery, resumable
 manifests) and print a recovery report after the table.
+
+``lint`` dispatches before the simulation stack is imported: pre-commit
+hooks run ``repro lint --changed`` on every commit, so its startup cost
+is numpy-free.  The other commands import what they need lazily.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-
-from repro.experiments import diskcache
-from repro.experiments.report import format_cache_stats, format_table
-from repro.experiments.runner import (
-    STRATEGY_FACTORIES,
-    get_result,
-    seed_trace,
-)
-from repro.gpu import SIMULATED_GPUS
-from repro.profiling import training_breakdown
-from repro.trace.analysis import profile_trace
-from repro.workloads import WORKLOAD_KEYS, load_workload
 
 __all__ = ["main"]
 
@@ -44,7 +36,21 @@ _DEFAULT_STRATEGIES = (
 )
 
 
+def load_workload(key):
+    """Late-bound :func:`repro.workloads.load_workload`.
+
+    A module-level name (rather than a local import in each command) so
+    tests can monkeypatch ``repro.cli.load_workload``, while the real
+    import stays off the ``lint`` fast path.
+    """
+    from repro.workloads import load_workload as _load_workload
+
+    return _load_workload(key)
+
+
 def _add_workload_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.workloads import WORKLOAD_KEYS
+
     parser.add_argument(
         "--workload", "-w", default="3D-LE", choices=WORKLOAD_KEYS,
         help="Table 2 workload key (default: 3D-LE)",
@@ -52,6 +58,8 @@ def _add_workload_arg(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_gpu_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.gpu import SIMULATED_GPUS
+
     parser.add_argument(
         "--gpu", "-g", default="3060-Sim", choices=sorted(SIMULATED_GPUS),
         help="simulated GPU (default: 3060-Sim)",
@@ -135,36 +143,54 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint",
         help="run arclint, the domain-invariant static analysis "
              "(fingerprint-completeness, determinism, unit-safety, "
-             "strategy-conformance)",
+             "strategy-conformance, interprocedural units, event ties, "
+             "cache-key taint)",
     )
-    lint.add_argument(
+    _add_lint_arguments(lint)
+    return parser
+
+
+def _add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``lint`` options, shared by the subcommand and the fast path."""
+    parser.add_argument(
         "paths", nargs="*", metavar="PATH",
         help="files or directories to lint (default: the installed "
              "repro package source)",
     )
-    lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif emits a SARIF 2.1.0 "
+             "document for code-scanning upload",
     )
-    lint.add_argument(
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None,
+        metavar="BASE",
+        help="lint only the files changed relative to BASE (a git "
+             "revision, default HEAD) plus every module that "
+             "transitively imports them",
+    )
+    parser.add_argument(
         "--baseline", metavar="FILE", default=".arclint-baseline.json",
         help="baseline file of grandfathered findings "
              "(default: .arclint-baseline.json in the working directory)",
     )
-    lint.add_argument(
+    parser.add_argument(
         "--no-baseline", action="store_true",
         help="ignore the baseline: report every finding as new",
     )
-    lint.add_argument(
+    parser.add_argument(
         "--fix-baseline", action="store_true",
-        help="regenerate the baseline from the current findings "
-             "(sorted, content-addressed; byte-stable for identical "
-             "findings) and exit 0",
+        help="rewrite the baseline from the current findings (sorted, "
+             "content-addressed; byte-stable for identical findings), "
+             "pruning entries that no longer fire, and exit 0",
     )
-    return parser
 
 
 def _cmd_list() -> int:
+    from repro.experiments.runner import STRATEGY_FACTORIES
+    from repro.gpu import SIMULATED_GPUS
+    from repro.workloads import WORKLOAD_KEYS
+
     print("Workloads (Table 2):")
     for key in WORKLOAD_KEYS:
         workload = load_workload(key)
@@ -180,6 +206,8 @@ def _cmd_list() -> int:
 
 
 def _cmd_profile(args) -> int:
+    from repro.trace.analysis import profile_trace
+
     workload = load_workload(args.workload)
     profile = profile_trace(workload.capture_trace())
     print(profile)
@@ -189,6 +217,15 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from repro.experiments import diskcache
+    from repro.experiments.report import format_cache_stats, format_table
+    from repro.experiments.runner import (
+        STRATEGY_FACTORIES,
+        get_result,
+        seed_trace,
+    )
+    from repro.gpu import SIMULATED_GPUS
+
     unknown = [s for s in args.strategies if s not in STRATEGY_FACTORIES]
     if unknown:
         print(f"unknown strategies: {unknown}", file=sys.stderr)
@@ -254,6 +291,7 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_train(args) -> int:
+
     workload = load_workload(args.workload)
     report = workload.train(iterations=args.iterations)
     print(f"{args.workload}: {report.iterations} iterations in "
@@ -264,6 +302,9 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_breakdown(args) -> int:
+    from repro.gpu import SIMULATED_GPUS
+    from repro.profiling import training_breakdown
+
     workload = load_workload(args.workload)
     trace = workload.capture_trace()
     pairs, pixels = workload.forward_stats()
@@ -281,6 +322,8 @@ def _cmd_breakdown(args) -> int:
 
 def _cmd_tune(args) -> int:
     from repro.core.autotune import tune_threshold
+    from repro.experiments.report import format_table
+    from repro.gpu import SIMULATED_GPUS
 
     workload = load_workload(args.workload)
     trace = workload.capture_trace()
@@ -305,6 +348,8 @@ def _cmd_tune(args) -> int:
 
 
 def _cmd_cache(args) -> int:
+    from repro.experiments import diskcache
+
     cache = diskcache.active_cache()
     if cache is None:
         print("disk cache disabled "
@@ -331,20 +376,41 @@ def _cmd_lint(args) -> int:
     from pathlib import Path
 
     import repro
-    from repro.lint import run_lint, write_baseline
+    from repro.lint import refresh_baseline, run_lint
 
     paths = args.paths or [Path(repro.__file__).parent]
-    baseline = None if args.no_baseline else args.baseline
+    restrict = None
+    if args.changed is not None:
+        from repro.lint.changed import GitError, changed_files
+
+        try:
+            restrict = changed_files(args.changed)
+        except GitError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not restrict:
+            print(f"no python files changed relative to {args.changed}; "
+                  "nothing to lint")
+            return 0
     if args.fix_baseline:
-        # Regenerate from scratch: every unsuppressed finding becomes a
-        # grandfathered entry, and stale entries disappear.
-        report = run_lint(paths, baseline_path=None)
-        count = write_baseline(args.baseline, report.new)
-        print(f"wrote {count} baseline entr(ies) to {args.baseline}")
+        # Rewrite from what currently fires: new entries are added,
+        # entries that no longer fire are pruned.  A --changed run only
+        # touches entries for the files it actually re-checked.
+        report = run_lint(paths, baseline_path=None, restrict_to=restrict)
+        checked = set(report.checked_paths) if restrict is not None else None
+        total, added, pruned = refresh_baseline(
+            args.baseline, report.new, checked_paths=checked
+        )
+        print(f"baseline {args.baseline}: {total} entr(ies) "
+              f"({added} added, {pruned} pruned)")
         return 0
-    report = run_lint(paths, baseline_path=baseline)
+    baseline = None if args.no_baseline else args.baseline
+    report = run_lint(paths, baseline_path=baseline, restrict_to=restrict)
     if args.format == "json":
         print(report.render_json())
+    elif args.format == "sarif":
+        print(report.render_sarif())
+        print(report.summary_line(), file=sys.stderr)
     else:
         print(report.render_text())
         if report.new:
@@ -358,6 +424,17 @@ def _cmd_lint(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Parse *argv* (default ``sys.argv``) and run the chosen command."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # Fast path: lint must stay sub-second for pre-commit, so it
+        # parses its own arguments without importing the simulation
+        # stack the full parser's choices= lists pull in.
+        lint_parser = argparse.ArgumentParser(
+            prog="repro lint",
+            description="arclint: domain-invariant static analysis",
+        )
+        _add_lint_arguments(lint_parser)
+        return _cmd_lint(lint_parser.parse_args(argv[1:]))
     args = _build_parser().parse_args(argv)
     handlers = {
         "list": lambda: _cmd_list(),

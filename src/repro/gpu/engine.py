@@ -22,6 +22,7 @@ where, and by how much) without modeling a full out-of-order memory system.
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from dataclasses import replace
 
@@ -218,18 +219,37 @@ def simulate_kernel(
 
     # Event loop: pop the sub-core that becomes ready earliest, run its next
     # batch to completion (from the sub-core's point of view), repeat.
+    # Every heap entry is ``(time, subcore, push_seq)``: same-timestamp
+    # events pop in the engine's established deterministic sub-core order,
+    # and the trailing monotonic sequence number makes the tuple totally
+    # ordered by explicit scalars alone -- a future payload element can
+    # never be reached by tuple comparison, so tie order can never fall
+    # back to whatever that payload happens to compare as (ARC007).
+    # REPRO_SANITIZE=1 turns on a runtime assert that the popped stream
+    # honors that total order.
+    sanitize = os.environ.get("REPRO_SANITIZE") == "1"
     current_batches: list[list[int]] = [[] for _ in range(n_subcores)]
     cursors = [0] * n_subcores
     ready_heap = []
+    push_seq = 0
     for subcore in range(n_subcores):
         if not pending_warps:
             break
         current_batches[subcore] = batches_by_warp[pending_warps.popleft()]
-        ready_heap.append((0.0, subcore))
+        ready_heap.append((0.0, subcore, push_seq))
+        push_seq += 1
     heapq.heapify(ready_heap)
 
+    last_popped = (-1.0, -1, -1)
     while ready_heap:
-        t0, subcore = heapq.heappop(ready_heap)
+        t0, subcore, seq = heapq.heappop(ready_heap)
+        if sanitize:
+            assert last_popped < (t0, subcore, seq), (
+                f"event-tie order violated: popped {(t0, subcore, seq)} "
+                f"after {last_popped}; pushes must be monotonic in "
+                "(time, subcore, seq)"
+            )
+            last_popped = (t0, subcore, seq)
         index = current_batches[subcore][cursors[subcore]]
         cursors[subcore] += 1
         sm = subcore // subcores_per_sm
@@ -323,7 +343,8 @@ def simulate_kernel(
             else:
                 current_batches[subcore] = []
         if current_batches[subcore]:
-            heapq.heappush(ready_heap, (t, subcore))
+            heapq.heappush(ready_heap, (t, subcore, push_seq))
+            push_seq += 1
         else:
             state.last_completion = max(state.last_completion, t)
 

@@ -3,7 +3,7 @@
 The tier-1 test suite checks *numbers*; this package checks the
 *invariants those numbers silently depend on* -- the bug class PR 1's
 review cycles were spent on.  An AST-based rule framework
-(:mod:`repro.lint.registry`, :mod:`repro.lint.engine`) runs four domain
+(:mod:`repro.lint.registry`, :mod:`repro.lint.engine`) runs eight domain
 rules (:mod:`repro.lint.rules`):
 
 ========  ===========================================================
@@ -13,17 +13,38 @@ ARC002    determinism: no global RNG, wall clocks or unordered
           iteration inside ``repro/{core,gpu,trace}``
 ARC003    unit-safety: ns- and cycle-domain values only combine
           through an explicit ``clock_ghz`` conversion
+          (flow-sensitive since v2)
 ARC004    strategy-conformance: concrete strategies are exported,
           implement the interface, and stay cacheable (scalar ctors)
+ARC005    resilient-execution: experiment workers are never awaited
+          without a timeout
+ARC006    interprocedural unit contracts: ns values never reach
+          cycles-typed parameters/returns across call chains
+ARC007    event-tie determinism: engine heap events carry a monotonic
+          sequence tiebreaker (runtime twin: ``REPRO_SANITIZE=1``)
+ARC008    cache-key taint: fields excluded from a fingerprint are
+          never read in result-influencing engine positions
 ========  ===========================================================
+
+ARC003/006/008 are built on a project-wide dataflow layer
+(:mod:`repro.lint.dataflow`): symbol table, call graph, and an abstract
+interpreter propagating unit tags through assignments, calls and
+dataclass fields to a fixpoint.  The same layer's import graph powers
+``repro lint --changed``, which re-checks only the files a diff touched
+plus their transitive importers.
 
 Findings are suppressed inline (``# arclint: disable=ARC001``) or
 grandfathered in a checked-in, content-addressed baseline
-(:mod:`repro.lint.baseline`).  Entry point: ``repro lint`` (see
-:mod:`repro.cli`) or :func:`run_lint`.
+(:mod:`repro.lint.baseline`).  Reports render as text, JSON, or SARIF
+2.1.0 (:mod:`repro.lint.sarif`) for code-scanning upload.  Entry point:
+``repro lint`` (see :mod:`repro.cli`) or :func:`run_lint`.
 """
 
-from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.baseline import (
+    load_baseline,
+    refresh_baseline,
+    write_baseline,
+)
 from repro.lint.engine import (
     LintConfig,
     LintReport,
@@ -40,6 +61,7 @@ __all__ = [
     "Severity",
     "all_rules",
     "load_baseline",
+    "refresh_baseline",
     "register",
     "rule_ids",
     "run_lint",

@@ -25,6 +25,7 @@ __all__ = [
     "BASELINE_VERSION",
     "load_baseline",
     "write_baseline",
+    "refresh_baseline",
     "diff_against_baseline",
 ]
 
@@ -60,31 +61,70 @@ def write_baseline(path: "Path | str", findings: Iterable[Finding]) -> int:
     Entries carry the human-facing fields (rule, path, message, snippet)
     purely for reviewability -- only ``id`` participates in matching.
     """
-    entries = sorted(
-        (
-            {
-                "id": f.content_id,
-                "rule": f.rule,
-                "path": f.path,
-                "message": f.message,
-                "snippet": f.snippet,
-            }
-            for f in findings
-        ),
-        key=lambda entry: entry["id"],
-    )
+    return _write_entries(path, [_entry(f) for f in findings])
+
+
+def _entry(finding: Finding) -> dict:
+    return {
+        "id": finding.content_id,
+        "rule": finding.rule,
+        "path": finding.path,
+        "message": finding.message,
+        "snippet": finding.snippet,
+    }
+
+
+def _write_entries(path: "Path | str", entries: Iterable[dict]) -> int:
+    entries = sorted(entries, key=lambda entry: entry["id"])
     payload = {"version": BASELINE_VERSION, "entries": entries}
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return len(entries)
 
 
+def refresh_baseline(
+    path: "Path | str",
+    findings: Iterable[Finding],
+    checked_paths: "set[str] | None" = None,
+) -> "tuple[int, int, int]":
+    """Rewrite the baseline from *findings*; returns (total, added,
+    pruned).
+
+    Entries whose finding no longer fires are *pruned* -- the baseline
+    only ever records what the current tree actually produces.  With
+    *checked_paths* (a partial ``--changed --fix-baseline`` run), old
+    entries for files outside the checked set are preserved untouched:
+    the run cannot know whether they still fire.
+    """
+    try:
+        old = load_baseline(path)
+    except (ValueError, json.JSONDecodeError):
+        if checked_paths is not None:
+            raise  # a partial refresh must trust the old entries
+        old = {}  # full regeneration recovers a corrupt baseline
+    merged = {
+        key: entry for key, entry in old.items()
+        if checked_paths is not None
+        and entry.get("path") not in checked_paths
+    }
+    merged.update((f.content_id, _entry(f)) for f in findings)
+    total = _write_entries(path, merged.values())
+    added = len(set(merged) - set(old))
+    pruned = len(set(old) - set(merged))
+    return total, added, pruned
+
+
 def diff_against_baseline(
-    findings: Sequence[Finding], baseline: dict[str, dict]
+    findings: Sequence[Finding],
+    baseline: dict[str, dict],
+    checked_paths: "set[str] | None" = None,
 ) -> "tuple[list[Finding], list[Finding], list[dict]]":
     """Split *findings* into (new, baselined) and report stale entries.
 
     Stale entries are baseline ids no current finding produced -- the
     flagged code was fixed or changed, so the entry must be removed.
+    On a partial run, *checked_paths* limits staleness to entries for
+    files that were actually re-checked: an entry for an unvisited file
+    is simply unknown, not stale.
     """
     new: list[Finding] = []
     baselined: list[Finding] = []
@@ -96,6 +136,8 @@ def diff_against_baseline(
         else:
             new.append(finding)
     stale = [
-        entry for key, entry in sorted(baseline.items()) if key not in seen
+        entry for key, entry in sorted(baseline.items())
+        if key not in seen
+        and (checked_paths is None or entry.get("path") in checked_paths)
     ]
     return new, baselined, stale

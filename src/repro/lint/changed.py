@@ -1,0 +1,67 @@
+"""Diff-aware lint selection: which files did this change touch.
+
+``repro lint --changed [BASE]`` asks git for the files that differ from
+*BASE* (default ``HEAD``): committed, staged and worktree modifications
+plus untracked files.  The engine then expands that set through the
+module import graph (:func:`repro.lint.dataflow.reverse_dependents`) so
+editing ``repro/gpu/config.py`` also re-checks everything that imports
+it -- the modules whose *interprocedural* findings the edit could have
+changed.  Deleted files drop out naturally (they no longer parse into
+modules); their baseline entries are left for the next full run to
+flag as stale.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+__all__ = ["GitError", "changed_files"]
+
+
+class GitError(RuntimeError):
+    """git was unavailable or rejected the requested base revision."""
+
+
+def _git(args: "list[str]", cwd: "Path | None") -> str:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd, capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise GitError(f"git {' '.join(args)} failed: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip() or f"exit code {proc.returncode}"
+        raise GitError(f"git {' '.join(args)} failed: {detail}")
+    return proc.stdout
+
+
+def changed_files(
+    base: str = "HEAD", cwd: "Path | None" = None
+) -> "list[Path]":
+    """Absolute paths of python files changed relative to *base*.
+
+    The union of ``git diff --name-only <base>`` (committed + staged +
+    worktree changes, deletions excluded via ``--diff-filter``) and
+    untracked files.  Paths are resolved against the repository root,
+    not the working directory, so the command works from any subdir.
+    """
+    root = Path(_git(["rev-parse", "--show-toplevel"], cwd).strip())
+    listed = _git(
+        ["diff", "--name-only", "--diff-filter=d", base, "--"], cwd
+    )
+    untracked = _git(
+        ["ls-files", "--others", "--exclude-standard"], cwd
+    )
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for line in (*listed.splitlines(), *untracked.splitlines()):
+        name = line.strip()
+        if not name.endswith(".py"):
+            continue
+        path = (root / name).resolve()
+        if path not in seen and path.exists():
+            seen.add(path)
+            out.append(path)
+    return out

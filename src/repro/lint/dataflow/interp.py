@@ -1,0 +1,524 @@
+"""Per-function abstract interpreter over the unit lattice.
+
+Walks one function (or one module's top level) in source order,
+maintaining an environment of ``name -> Unit`` tags, and records every
+*provable* unit conflict it encounters.  Tags enter the environment
+three ways:
+
+* **declared** -- identifier naming: ``*_ns``/``*_NS`` bindings carry
+  nanoseconds, ``*_cycles`` carry shader cycles, ``clock_ghz``/``*_ghz``
+  carry a clock frequency (the same convention arclint v1 checked
+  per-expression, now seeded into dataflow);
+* **flowed** -- assignments, augmented ops and tuple-free expressions
+  propagate tags through the function body (strong updates in
+  straight-line code, joins inside branches and loops);
+* **summarized** -- calls to project functions yield the callee's
+  return unit from the interprocedural fixpoint
+  (:mod:`repro.lint.dataflow.summaries`), which is how a nanosecond
+  value is tracked across call boundaries.
+
+Everything the interpreter cannot prove becomes ``UNKNOWN`` and is
+never reported on.  The recorded :class:`Conflict` stream is consumed
+by ARC003 (local and flow-sensitive mixes) and ARC006 (interprocedural
+mismatches at call/return boundaries).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.lint import astutil
+from repro.lint.dataflow.lattice import (
+    Unit,
+    add_units,
+    div_units,
+    join,
+    mul_units,
+)
+from repro.lint.dataflow.symbols import (
+    ClassSymbol,
+    FunctionSymbol,
+    SymbolTable,
+    annotation_name,
+)
+
+if TYPE_CHECKING:
+    from repro.lint.engine import LintConfig, ModuleInfo
+
+__all__ = ["Conflict", "FunctionFacts", "UnitInterpreter", "declared_unit"]
+
+#: Builtins that pass their arguments' unit through unchanged.
+_PASSTHROUGH_CALLS = {
+    "max", "min", "abs", "sum", "round", "float", "int", "sorted",
+}
+
+
+def declared_unit(name: str, config: "LintConfig") -> "Unit | None":
+    """Unit an identifier *declares* through its naming, or ``None``."""
+    if name in config.clock_names or name.endswith(("_ghz", "_GHZ")):
+        return Unit.GHZ
+    for suffix in config.ns_suffixes:
+        if name.endswith(suffix):
+            return Unit.NS
+    for suffix in config.cycle_suffixes:
+        if name.endswith(suffix):
+            return Unit.CYCLES
+    return None
+
+
+def _is_bare_number(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    )
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One provable unit violation, located and categorized.
+
+    ``kind`` is one of:
+
+    * ``mix`` -- an additive expression combines NS and CYCLES;
+    * ``table-literal`` -- a bare numeric literal meets a ``*_NS`` table
+      entry additively (the literal's unit is unknowable);
+    * ``table-store`` -- a CYCLES value stored/accumulated into a
+      ``*_NS`` table;
+    * ``binding`` -- a value of one unit assigned to a name (or
+      attribute, or dataclass field) declaring the other;
+    * ``arg`` -- a call passes one unit into a parameter declaring the
+      other (the interprocedural case);
+    * ``return`` -- a function whose name declares a unit returns the
+      other.
+    """
+
+    kind: str
+    module: "ModuleInfo"
+    line: int
+    left: Unit
+    right: Unit
+    #: Human context: (what carries ``left``, what expects ``right``).
+    names: tuple[str, ...] = ()
+    #: Whether the site is an augmented (``+=``) statement; the table
+    #: kinds word their message differently for accumulation vs. store.
+    augmented: bool = False
+
+
+class FunctionFacts:
+    """Everything one interpreter run learned about one function."""
+
+    def __init__(self, qname: str, module: "ModuleInfo"):
+        self.qname = qname
+        self.module = module
+        self.return_unit: Unit = Unit.UNKNOWN
+        self.conflicts: list[Conflict] = []
+
+
+class _ReturnSource:
+    """Summary lookup interface the interpreter consumes.
+
+    :class:`~repro.lint.dataflow.summaries.Summaries` implements it; a
+    dict-backed stub is enough for unit tests.
+    """
+
+    def return_unit_of(self, qname: str) -> Unit:  # pragma: no cover
+        raise NotImplementedError
+
+
+class UnitInterpreter:
+    """Interpret one function body (or module top level) at a time."""
+
+    def __init__(self, table: SymbolTable, config: "LintConfig",
+                 summaries: "_ReturnSource | None" = None):
+        self.table = table
+        self.config = config
+        self.summaries = summaries
+
+    # Entry points ------------------------------------------------------ #
+
+    def run_function(self, function: FunctionSymbol) -> FunctionFacts:
+        facts = FunctionFacts(function.qname, function.module)
+        env = self._seed_params(function.node)
+        self._exec_block(
+            function.node.body, env, depth=0, facts=facts,
+            function=function,
+        )
+        declared = declared_unit(function.name, self.config)
+        if declared is not None and facts.return_unit is Unit.UNKNOWN:
+            facts.return_unit = declared
+        return facts
+
+    def run_module_level(self, module: "ModuleInfo") -> FunctionFacts:
+        """Interpret statements outside any function: module constants,
+        class-level assignments, top-level expressions."""
+        facts = FunctionFacts(self.table.name_of(module), module)
+        env: dict[str, Unit] = {}
+        body: list[ast.stmt] = []
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                body.extend(
+                    s for s in stmt.body
+                    if not isinstance(s, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef))
+                )
+                continue
+            body.append(stmt)
+        self._exec_block(body, env, depth=0, facts=facts, function=None)
+        return facts
+
+    # Environment ------------------------------------------------------- #
+
+    def _seed_params(self, node: ast.FunctionDef) -> dict[str, Unit]:
+        env: dict[str, Unit] = {}
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            declared = declared_unit(arg.arg, self.config)
+            if declared is not None:
+                env[arg.arg] = declared
+        return env
+
+    def _lookup(self, name: str, env: dict[str, Unit]) -> Unit:
+        tag = env.get(name)
+        if tag is not None:
+            return tag
+        return declared_unit(name, self.config) or Unit.UNKNOWN
+
+    # Statements -------------------------------------------------------- #
+
+    def _exec_block(
+        self,
+        body: "list[ast.stmt]",
+        env: dict[str, Unit],
+        depth: int,
+        facts: FunctionFacts,
+        function: "FunctionSymbol | None",
+    ) -> None:
+        nested: list[tuple[ast.FunctionDef, dict[str, Unit]]] = []
+        for stmt in body:
+            self._exec_stmt(stmt, env, depth, facts, function, nested)
+        # Nested defs interpret against a snapshot of the closure env.
+        for node, closure in nested:
+            inner_env = dict(closure)
+            inner_env.update(self._seed_params(node))
+            self._exec_block(
+                node.body, inner_env, depth=0, facts=facts,
+                function=function,
+            )
+
+    def _exec_stmt(self, stmt, env, depth, facts, function, nested) -> None:
+        if isinstance(stmt, ast.FunctionDef):
+            nested.append((stmt, dict(env)))
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env, facts)
+            for target in stmt.targets:
+                self._assign(target, stmt.value, value, env, depth, facts)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env, facts)
+                self._assign(stmt.target, stmt.value, value, env, depth,
+                             facts)
+        elif isinstance(stmt, ast.AugAssign):
+            self._aug_assign(stmt, env, facts)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env, facts)
+                facts.return_unit = (
+                    value if facts.return_unit is Unit.UNKNOWN
+                    else join(facts.return_unit, value)
+                )
+                if function is not None:
+                    self._check_return(stmt, value, facts, function)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env, facts)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, env, facts)
+            for branch in (stmt.body, stmt.orelse):
+                self._exec_branch(branch, env, depth, facts, function,
+                                  nested)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._eval(stmt.iter, env, facts)
+            if isinstance(stmt.target, ast.Name):
+                declared = declared_unit(stmt.target.id, self.config)
+                env[stmt.target.id] = declared or Unit.UNKNOWN
+            self._exec_branch(stmt.body, env, depth, facts, function,
+                              nested)
+            self._exec_branch(stmt.orelse, env, depth, facts, function,
+                              nested)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, env, facts)
+            self._exec_branch(stmt.body, env, depth, facts, function,
+                              nested)
+            self._exec_branch(stmt.orelse, env, depth, facts, function,
+                              nested)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr, env, facts)
+            for inner in stmt.body:
+                self._exec_stmt(inner, env, depth, facts, function, nested)
+        elif isinstance(stmt, ast.Try):
+            for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                self._exec_branch(block, env, depth, facts, function,
+                                  nested)
+            for handler in stmt.handlers:
+                self._exec_branch(handler.body, env, depth, facts,
+                                  function, nested)
+
+    def _exec_branch(self, body, env, depth, facts, function,
+                     nested) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env, depth + 1, facts, function, nested)
+
+    def _assign(self, target, value_node, value: Unit, env, depth,
+                facts) -> None:
+        if isinstance(target, ast.Name):
+            declared = declared_unit(target.id, self.config)
+            if declared is not None:
+                self._check_binding(target, declared, value, facts,
+                                    target.id)
+                env[target.id] = declared
+            elif depth == 0:
+                env[target.id] = value
+            else:
+                env[target.id] = join(env.get(target.id, value), value)
+        elif isinstance(target, ast.Attribute):
+            declared = declared_unit(target.attr, self.config)
+            if declared is not None:
+                self._check_binding(target, declared, value, facts,
+                                    target.attr)
+        elif isinstance(target, ast.Subscript):
+            if self._mentions_ns_table(target.value) \
+                    and value is Unit.CYCLES:
+                facts.conflicts.append(Conflict(
+                    "table-store", facts.module, target.lineno,
+                    Unit.CYCLES, Unit.NS,
+                ))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, value_node, Unit.UNKNOWN, env,
+                             depth, facts)
+
+    def _aug_assign(self, stmt: ast.AugAssign, env, facts) -> None:
+        value = self._eval(stmt.value, env, facts)
+        if isinstance(stmt.op, (ast.Add, ast.Sub)):
+            if isinstance(stmt.target, ast.Subscript) \
+                    and self._mentions_ns_table(stmt.target.value):
+                if value is Unit.CYCLES:
+                    facts.conflicts.append(Conflict(
+                        "table-store", facts.module, stmt.lineno,
+                        Unit.CYCLES, Unit.NS, augmented=True,
+                    ))
+                elif _is_bare_number(stmt.value):
+                    facts.conflicts.append(Conflict(
+                        "table-literal", facts.module, stmt.lineno,
+                        Unit.DIMLESS, Unit.NS, augmented=True,
+                    ))
+                return
+            target_tag = self._eval(stmt.target, env, facts)
+            if {target_tag, value} == {Unit.NS, Unit.CYCLES}:
+                facts.conflicts.append(Conflict(
+                    "mix", facts.module, stmt.lineno, target_tag, value,
+                ))
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = add_units(target_tag, value)
+
+    def _check_binding(self, target, declared: Unit, value: Unit, facts,
+                       name: str) -> None:
+        if {declared, value} == {Unit.NS, Unit.CYCLES}:
+            facts.conflicts.append(Conflict(
+                "binding", facts.module, target.lineno, value, declared,
+                (name,),
+            ))
+
+    def _check_return(self, stmt: ast.Return, value: Unit, facts,
+                      function: FunctionSymbol) -> None:
+        declared = declared_unit(function.name, self.config)
+        if declared is not None \
+                and {declared, value} == {Unit.NS, Unit.CYCLES}:
+            facts.conflicts.append(Conflict(
+                "return", facts.module, stmt.lineno, value, declared,
+                (function.qname,),
+            ))
+
+    # Expressions ------------------------------------------------------- #
+
+    def _eval(self, node: ast.AST, env: dict[str, Unit],
+              facts: FunctionFacts) -> Unit:
+        if isinstance(node, ast.Name):
+            return self._lookup(node.id, env)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return Unit.DIMLESS
+            if isinstance(node.value, (int, float)):
+                return Unit.DIMLESS
+            return Unit.UNKNOWN
+        if isinstance(node, ast.Attribute):
+            self._eval(node.value, env, facts)
+            return declared_unit(node.attr, self.config) or Unit.UNKNOWN
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice, env, facts)
+            return self._eval(node.value, env, facts)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env, facts)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env, facts)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, facts)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env, facts)
+            return join(self._eval(node.body, env, facts),
+                        self._eval(node.orelse, env, facts))
+        if isinstance(node, (ast.BoolOp, ast.Compare)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env, facts)
+            return Unit.DIMLESS
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self._eval(element, env, facts)
+            return Unit.UNKNOWN
+        if isinstance(node, ast.Dict):
+            for child in (*node.keys, *node.values):
+                if child is not None:
+                    self._eval(child, env, facts)
+            return Unit.UNKNOWN
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            # Comprehensions run in their own scope; evaluate for side
+            # effects (nested conflicts) against a scratch env.
+            scratch = dict(env)
+            for generator in node.generators:
+                self._eval(generator.iter, scratch, facts)
+                if isinstance(generator.target, ast.Name):
+                    declared = declared_unit(generator.target.id,
+                                             self.config)
+                    scratch[generator.target.id] = (
+                        declared or Unit.UNKNOWN
+                    )
+            if isinstance(node, ast.DictComp):
+                self._eval(node.key, scratch, facts)
+                self._eval(node.value, scratch, facts)
+            else:
+                self._eval(node.elt, scratch, facts)
+            return Unit.UNKNOWN
+        return Unit.UNKNOWN
+
+    def _eval_binop(self, node: ast.BinOp, env, facts) -> Unit:
+        left = self._eval(node.left, env, facts)
+        right = self._eval(node.right, env, facts)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if {left, right} == {Unit.NS, Unit.CYCLES}:
+                facts.conflicts.append(Conflict(
+                    "mix", facts.module, node.lineno, left, right,
+                ))
+            elif self._literal_meets_ns_table(node, left, right):
+                facts.conflicts.append(Conflict(
+                    "table-literal", facts.module, node.lineno,
+                    Unit.DIMLESS, Unit.NS,
+                ))
+            return add_units(left, right)
+        if isinstance(node.op, ast.Mult):
+            return mul_units(left, right)
+        if isinstance(node.op, ast.Div):
+            return div_units(left, right)
+        return Unit.UNKNOWN
+
+    def _literal_meets_ns_table(self, node: ast.BinOp, left: Unit,
+                                right: Unit) -> bool:
+        pairs = ((node.left, left, node.right),
+                 (node.right, right, node.left))
+        for term, tag, other in pairs:
+            if tag is Unit.NS and self._mentions_ns_table(term) \
+                    and _is_bare_number(other):
+                return True
+        return False
+
+    def _mentions_ns_table(self, term: ast.AST) -> bool:
+        """An uppercase ``*_NS`` identifier marks a module-level table."""
+        return any(
+            name.endswith("_NS") for name in astutil.identifier_names(term)
+        )
+
+    def _eval_call(self, node: ast.Call, env, facts) -> Unit:
+        for keyword in node.keywords:
+            self._eval(keyword.value, env, facts)
+        arg_tags = [self._eval(arg, env, facts) for arg in node.args]
+        name = astutil.called_name(node)
+        if name in _PASSTHROUGH_CALLS:
+            result = Unit.DIMLESS
+            for tag in arg_tags:
+                result = add_units(result, tag)
+            return result
+        symbol = self._resolve_call(node, facts)
+        if isinstance(symbol, FunctionSymbol):
+            self._check_call_args(node, symbol, arg_tags, env, facts)
+            if self.summaries is not None:
+                return self.summaries.return_unit_of(symbol.qname)
+            return declared_unit(symbol.name, self.config) or Unit.UNKNOWN
+        if isinstance(symbol, ClassSymbol):
+            self._check_constructor(node, symbol, env, facts)
+        return Unit.UNKNOWN
+
+    def _resolve_call(self, node: ast.Call, facts):
+        dotted = astutil.dotted_name(node.func)
+        if dotted is not None and dotted.startswith("self."):
+            rest = dotted[len("self."):]
+            if "." not in rest:
+                for cls in self.table.classes():
+                    if cls.module is facts.module \
+                            and facts.qname.startswith(cls.qname + "."):
+                        return cls.methods.get(rest)
+                return None
+        return self.table.resolve_call(facts.module, node)
+
+    def _check_call_args(self, node: ast.Call, callee: FunctionSymbol,
+                         arg_tags: "list[Unit]", env, facts) -> None:
+        params = [
+            arg.arg
+            for arg in (*callee.node.args.posonlyargs,
+                        *callee.node.args.args)
+        ]
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        for param, tag in zip(params, arg_tags):
+            self._check_one_arg(node, callee, param, tag, facts)
+        named = set(params) | {
+            arg.arg for arg in callee.node.args.kwonlyargs
+        }
+        for keyword in node.keywords:
+            if keyword.arg in named:
+                tag = self._eval(keyword.value, env, facts)
+                self._check_one_arg(node, callee, keyword.arg, tag, facts)
+
+    def _check_one_arg(self, node: ast.Call, callee: FunctionSymbol,
+                       param: str, tag: Unit, facts) -> None:
+        declared = declared_unit(param, self.config)
+        if declared is not None \
+                and {declared, tag} == {Unit.NS, Unit.CYCLES}:
+            facts.conflicts.append(Conflict(
+                "arg", facts.module, node.lineno, tag, declared,
+                (callee.qname, param),
+            ))
+
+    def _check_constructor(self, node: ast.Call, cls: ClassSymbol, env,
+                           facts) -> None:
+        """Dataclass keyword construction: a field whose name declares a
+        unit must not receive the other unit."""
+        if not cls.fields:
+            return
+        for keyword in node.keywords:
+            if keyword.arg is None or keyword.arg not in cls.fields:
+                continue
+            declared = declared_unit(keyword.arg, self.config)
+            if declared is None:
+                continue
+            tag = self._eval(keyword.value, env, facts)
+            if {declared, tag} == {Unit.NS, Unit.CYCLES}:
+                facts.conflicts.append(Conflict(
+                    "arg", facts.module, node.lineno, tag, declared,
+                    (cls.qname, keyword.arg),
+                ))

@@ -1,0 +1,91 @@
+"""The abstract domains the dataflow analysis propagates.
+
+Two lattices travel through the interpreter:
+
+* **Unit** -- which clock/measurement domain a value lives in.  The
+  reproduction's cost model keeps memory-domain service times in
+  nanoseconds and the timing engine sums shader cycles; the only legal
+  bridge is multiplication by a clock frequency (``cycles = ns * ghz``).
+  The lattice records exactly enough to check that: ``NS``, ``CYCLES``,
+  ``GHZ``, ``DIMLESS`` (pure numbers: literals, counts, ratios) and
+  ``UNKNOWN`` (top -- no information, never reported on).
+* **Taint** -- whether a value is *result-influencing* (derived from a
+  fingerprinted input field).  Tracked as plain membership in a set of
+  tainted names, so it needs no class here; :mod:`.interp` documents it.
+
+Transfer functions are deliberately forgiving: any combination this
+module cannot prove meaningful maps to ``UNKNOWN`` rather than to an
+error, so the rules built on top only report provable conflicts
+(``NS`` meeting ``CYCLES`` additively) and stay quiet on everything
+else.  False silence is acceptable; false alarms are not.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Unit", "join", "add_units", "mul_units", "div_units"]
+
+
+class Unit(str, Enum):
+    """Measurement domain of one abstract value."""
+
+    NS = "ns"
+    CYCLES = "cycles"
+    GHZ = "ghz"
+    DIMLESS = "dimensionless"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def join(a: Unit, b: Unit) -> Unit:
+    """Least upper bound: what a value is after control flow merges.
+
+    Equal tags keep their tag; ``DIMLESS`` is absorbed by any informative
+    tag (initializing an accumulator to ``0.0`` must not erase the unit
+    later additions establish); anything else merges to ``UNKNOWN``.
+    """
+    if a == b:
+        return a
+    if a is Unit.DIMLESS:
+        return b
+    if b is Unit.DIMLESS:
+        return a
+    return Unit.UNKNOWN
+
+
+def add_units(a: Unit, b: Unit) -> Unit:
+    """Result of ``a + b`` / ``a - b`` (the *conflict* is reported by the
+    rule, not here; the transfer just keeps the analysis going)."""
+    if a is Unit.DIMLESS:
+        return b
+    if b is Unit.DIMLESS:
+        return a
+    if a == b:
+        return a
+    return Unit.UNKNOWN
+
+
+def mul_units(a: Unit, b: Unit) -> Unit:
+    """Result of ``a * b``; the ns->cycles clock conversion lives here."""
+    pair = {a, b}
+    if pair == {Unit.NS, Unit.GHZ}:
+        return Unit.CYCLES
+    if a is Unit.DIMLESS:
+        return b
+    if b is Unit.DIMLESS:
+        return a
+    return Unit.UNKNOWN
+
+
+def div_units(a: Unit, b: Unit) -> Unit:
+    """Result of ``a / b``; ``cycles / ghz`` converts back to ns."""
+    if a is Unit.CYCLES and b is Unit.GHZ:
+        return Unit.NS
+    if b is Unit.DIMLESS:
+        return a
+    if a == b and a is not Unit.UNKNOWN:
+        return Unit.DIMLESS
+    return Unit.UNKNOWN

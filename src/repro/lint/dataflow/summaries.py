@@ -1,0 +1,131 @@
+"""Interprocedural fixpoint: per-function summaries over the call graph.
+
+A function's *summary* is the unit of its return value.  Summaries feed
+call sites in :class:`~repro.lint.dataflow.interp.UnitInterpreter`, so
+a nanosecond value produced three calls away still reaches the caller
+tagged ``NS`` -- that is the whole point of arclint v2 over v1's
+single-expression view.
+
+The computation is a worklist fixpoint:
+
+1. every function starts at ``UNKNOWN`` (top: assume nothing);
+2. interpret each function; if its inferred return unit changed,
+   re-enqueue its *callers* (their call sites now evaluate differently);
+3. repeat until no summary moves.
+
+Because the lattice is finite and tiny, each function's summary can
+change only a handful of times, so the loop terminates quickly; a
+generous iteration cap guards against pathological oscillation (and is
+counted, never silently hit, in :attr:`Summaries.passes`).
+
+After the fixpoint, one final pass interprets every function *and* each
+module's top level with the converged summaries, collecting the
+definitive :class:`~repro.lint.dataflow.interp.Conflict` stream the
+rules report from.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lint.dataflow.callgraph import CallGraph
+from repro.lint.dataflow.interp import (
+    FunctionFacts,
+    UnitInterpreter,
+    declared_unit,
+)
+from repro.lint.dataflow.lattice import Unit
+from repro.lint.dataflow.symbols import SymbolTable
+
+if TYPE_CHECKING:
+    from repro.lint.engine import LintConfig, ModuleInfo
+
+__all__ = ["Summaries"]
+
+_MAX_PASSES = 32
+
+
+class Summaries:
+    """Converged return units + final facts for every function."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph,
+                 config: "LintConfig"):
+        self.table = table
+        self.graph = graph
+        self.config = config
+        #: qname -> converged return unit.
+        self.returns: dict[str, Unit] = {}
+        #: qname -> facts from the final (post-fixpoint) pass.
+        self.function_facts: dict[str, FunctionFacts] = {}
+        #: module name -> facts for its top-level statements.
+        self.module_facts: dict[str, FunctionFacts] = {}
+        self.passes = 0
+        self._compute()
+
+    # Interface consumed by the interpreter ----------------------------- #
+
+    def return_unit_of(self, qname: str) -> Unit:
+        tag = self.returns.get(qname)
+        if tag is not None:
+            return tag
+        # Unindexed callee: fall back to what its name declares.
+        name = qname.rpartition(".")[2]
+        return declared_unit(name, self.config) or Unit.UNKNOWN
+
+    # Fixpoint ----------------------------------------------------------- #
+
+    def _compute(self) -> None:
+        interp = UnitInterpreter(self.table, self.config, summaries=self)
+        functions = {f.qname: f for f in self.table.functions()}
+        self.returns = {qname: Unit.UNKNOWN for qname in functions}
+        pending = list(functions)
+        in_queue = set(pending)
+        steps = 0
+        budget = _MAX_PASSES * max(len(functions), 1)
+        while pending and steps < budget:
+            qname = pending.pop(0)
+            in_queue.discard(qname)
+            steps += 1
+            facts = interp.run_function(functions[qname])
+            if facts.return_unit != self.returns[qname]:
+                self.returns[qname] = facts.return_unit
+                for caller in self.graph.callers(qname):
+                    if caller.qname not in in_queue:
+                        pending.append(caller.qname)
+                        in_queue.add(caller.qname)
+        self.passes = steps
+        # Definitive pass with converged summaries.
+        for qname, function in functions.items():
+            self.function_facts[qname] = interp.run_function(function)
+        for name in sorted(self.table.module_names):
+            module = self.table.module_names[name]
+            self.module_facts[name] = interp.run_module_level(module)
+
+    # Reporting helpers --------------------------------------------------- #
+
+    def conflicts_in(self, module: "ModuleInfo"):
+        """Every conflict recorded against *module*, in line order.
+
+        De-duplicates across function facts: the fixpoint interprets
+        nested/closure bodies with their enclosing function, so the same
+        (kind, line, names) triple can surface once per enclosing scope.
+        """
+        seen = set()
+        out = []
+        name = self.table.name_of(module)
+        buckets = [self.module_facts.get(name)] + [
+            facts for facts in self.function_facts.values()
+            if facts.module is module
+        ]
+        for facts in buckets:
+            if facts is None:
+                continue
+            for conflict in facts.conflicts:
+                key = (conflict.kind, conflict.line, conflict.names,
+                       conflict.left, conflict.right, conflict.augmented)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(conflict)
+        out.sort(key=lambda c: (c.line, c.kind, c.names))
+        return out

@@ -1,0 +1,297 @@
+"""Project-wide symbol table and module resolver.
+
+The per-expression rules of arclint v1 saw one module at a time; the
+dataflow rules need to answer *project* questions: which module does
+``repro.gpu.config`` name, which function does ``simulate_kernel`` in
+this call refer to, what dataclass does the annotation ``GPUConfig``
+denote.  This module builds that index once per lint run from the
+already-parsed :class:`~repro.lint.engine.ModuleInfo` list -- no
+imports are executed; everything is derived from source.
+
+Naming: each module gets a dotted name derived from its package chain
+on disk (ascending through ``__init__.py`` directories), falling back
+to its lint-root-relative path for bare fixture trees.  Resolution then
+works over a *suffix table*: every dotted suffix of a module name maps
+to it unless two modules share the suffix, so ``repro.gpu.config``,
+``gpu.config`` and (if unambiguous) ``config`` all resolve to the same
+module regardless of how the lint root was chosen.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint import astutil
+
+if TYPE_CHECKING:
+    from repro.lint.engine import ModuleInfo
+
+__all__ = [
+    "ClassSymbol",
+    "FunctionSymbol",
+    "SymbolTable",
+    "annotation_name",
+    "module_dotted_name",
+]
+
+
+def module_dotted_name(module: "ModuleInfo") -> str:
+    """Dotted module name of *module* (``repro.gpu.engine``).
+
+    Ascends the on-disk package chain when one exists; otherwise the
+    lint-root-relative path provides the name, so fixture trees without
+    ``__init__.py`` files still get stable, import-matchable names.
+    """
+    path = module.path
+    if (path.parent / "__init__.py").exists():
+        parts = [] if path.stem == "__init__" else [path.stem]
+        directory = path.parent
+        while (directory / "__init__.py").exists() \
+                and directory.parent != directory:
+            parts.insert(0, directory.name)
+            directory = directory.parent
+        if parts:
+            return ".".join(parts)
+    parts = list(module.rel_parts)
+    parts[-1] = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts) if parts else path.stem
+
+
+def annotation_name(node: "ast.AST | None") -> "str | None":
+    """Best-effort class name named by an annotation expression.
+
+    Handles ``Name``, dotted ``Attribute`` chains, string annotations
+    (parsed), PEP 604 unions (the non-``None`` side) and
+    ``Optional[X]``.  Container annotations (``list[X]``, ``dict``)
+    yield ``None``: the *elements* are typed, not the value.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value.strip(), mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = annotation_name(node.left)
+        if left is not None and left != "None":
+            return left
+        return annotation_name(node.right)
+    if isinstance(node, ast.Subscript):
+        head = astutil.dotted_name(node.value)
+        if head and head.rpartition(".")[2] == "Optional":
+            return annotation_name(node.slice)
+        return None
+    name = astutil.dotted_name(node)
+    if name in (None, "None"):
+        return None
+    return name
+
+
+class FunctionSymbol:
+    """One function or method definition, addressable project-wide."""
+
+    def __init__(self, qname: str, module: "ModuleInfo",
+                 node: ast.FunctionDef, cls: "ClassSymbol | None" = None):
+        self.qname = qname
+        self.name = node.name
+        self.module = module
+        self.node = node
+        self.cls = cls
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FunctionSymbol({self.qname})"
+
+
+class ClassSymbol:
+    """One class definition plus what the dataflow layer needs of it."""
+
+    def __init__(self, qname: str, module: "ModuleInfo", node: ast.ClassDef):
+        self.qname = qname
+        self.name = node.name
+        self.module = module
+        self.node = node
+        self.is_dataclass = astutil.is_dataclass_def(node)
+        #: Dataclass field name -> definition line (empty for plain classes).
+        self.fields = (
+            astutil.dataclass_fields(node) if self.is_dataclass else {}
+        )
+        self.methods: dict[str, FunctionSymbol] = {}
+        #: Attribute -> annotation class-name string, from class-level
+        #: annotations and ``self.x = param`` bindings in ``__init__``.
+        self.attr_class: dict[str, str] = {}
+        self._scan_attr_types()
+
+    def _scan_attr_types(self) -> None:
+        for stmt in self.node.body:
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                name = annotation_name(stmt.annotation)
+                if name:
+                    self.attr_class[stmt.target.id] = name
+        init = next(
+            (s for s in self.node.body
+             if isinstance(s, ast.FunctionDef) and s.name == "__init__"),
+            None,
+        )
+        if init is None:
+            return
+        param_types = {
+            arg.arg: annotation_name(arg.annotation)
+            for arg in init.args.args
+        }
+        for stmt in ast.walk(init):
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                continue
+            target = stmt.targets[0]
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and isinstance(stmt.value, ast.Name)):
+                cls_name = param_types.get(stmt.value.id)
+                if cls_name:
+                    self.attr_class.setdefault(target.attr, cls_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ClassSymbol({self.qname})"
+
+
+class SymbolTable:
+    """Index of every module, class and function in one lint run."""
+
+    def __init__(self, modules: "list[ModuleInfo]"):
+        self.modules = modules
+        #: ModuleInfo -> dotted name and back.
+        self.module_names: dict[str, "ModuleInfo"] = {}
+        self._name_of: dict[int, str] = {}
+        #: Dotted suffix -> module name (ambiguous suffixes removed).
+        self._suffixes: dict[str, "str | None"] = {}
+        #: module name -> local symbol name -> symbol.
+        self._functions: dict[str, dict[str, FunctionSymbol]] = {}
+        self._classes: dict[str, dict[str, ClassSymbol]] = {}
+        #: module name -> import alias map (local name -> dotted origin).
+        self.imports: dict[str, dict[str, str]] = {}
+        for module in modules:
+            self._index_module(module)
+
+    # Construction ------------------------------------------------------ #
+
+    def _index_module(self, module: "ModuleInfo") -> None:
+        name = module_dotted_name(module)
+        self.module_names[name] = module
+        self._name_of[id(module)] = name
+        parts = name.split(".")
+        for start in range(len(parts)):
+            suffix = ".".join(parts[start:])
+            if suffix in self._suffixes \
+                    and self._suffixes[suffix] != name:
+                self._suffixes[suffix] = None  # ambiguous
+            else:
+                self._suffixes[suffix] = name
+        self._functions[name] = {}
+        self._classes[name] = {}
+        self.imports[name] = astutil.import_map(module.tree)
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                symbol = FunctionSymbol(f"{name}.{node.name}", module, node)
+                self._functions[name][node.name] = symbol
+            elif isinstance(node, ast.ClassDef):
+                cls = ClassSymbol(f"{name}.{node.name}", module, node)
+                self._classes[name][node.name] = cls
+                for stmt in node.body:
+                    if isinstance(stmt, ast.FunctionDef):
+                        method = FunctionSymbol(
+                            f"{cls.qname}.{stmt.name}", module, stmt, cls
+                        )
+                        cls.methods[stmt.name] = method
+                        self._functions[name][
+                            f"{node.name}.{stmt.name}"
+                        ] = method
+
+    # Lookup ------------------------------------------------------------ #
+
+    def name_of(self, module: "ModuleInfo") -> str:
+        return self._name_of[id(module)]
+
+    def resolve_module(self, dotted: str) -> "str | None":
+        """Module name a dotted import path denotes, or ``None``."""
+        resolved = self._suffixes.get(dotted)
+        return resolved
+
+    def functions(self) -> Iterator[FunctionSymbol]:
+        """Every function and method, in deterministic order."""
+        for name in sorted(self._functions):
+            for local in sorted(self._functions[name]):
+                yield self._functions[name][local]
+
+    def classes(self) -> Iterator[ClassSymbol]:
+        for name in sorted(self._classes):
+            for local in sorted(self._classes[name]):
+                yield self._classes[name][local]
+
+    def resolve_qualified(
+        self, module: "ModuleInfo", qualified: str
+    ) -> "FunctionSymbol | ClassSymbol | None":
+        """Symbol an alias-resolved dotted path refers to, if any.
+
+        *qualified* is what :func:`repro.lint.astutil.qualified_call`
+        produces: a bare local name, ``Class.method``, or a dotted path
+        whose head names a module (``repro.gpu.engine.simulate_kernel``).
+        """
+        mod_name = self.name_of(module)
+        local = (self._functions[mod_name].get(qualified)
+                 or self._classes[mod_name].get(qualified))
+        if local is not None:
+            return local
+        parts = qualified.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            target = self.resolve_module(".".join(parts[:cut]))
+            if target is None:
+                continue
+            rest = ".".join(parts[cut:])
+            symbol = (self._functions[target].get(rest)
+                      or self._classes[target].get(rest))
+            if symbol is not None:
+                return symbol
+        return None
+
+    def resolve_call(
+        self, module: "ModuleInfo", call: ast.Call
+    ) -> "FunctionSymbol | ClassSymbol | None":
+        """Callee symbol of *call* in *module* (``None`` when unknown)."""
+        qualified = astutil.qualified_call(
+            call, self.imports[self.name_of(module)]
+        )
+        if qualified is None:
+            return None
+        return self.resolve_qualified(module, qualified)
+
+    def resolve_class_name(
+        self, module: "ModuleInfo", name: "str | None"
+    ) -> "ClassSymbol | None":
+        """Class symbol an annotation token denotes from *module*."""
+        if not name:
+            return None
+        symbol = self.resolve_qualified(module, name)
+        if isinstance(symbol, ClassSymbol):
+            return symbol
+        # An imported name: map through the module's import aliases.
+        imports = self.imports[self.name_of(module)]
+        head, _, rest = name.partition(".")
+        origin = imports.get(head)
+        if origin is not None:
+            dotted = f"{origin}.{rest}" if rest else origin
+            symbol = self.resolve_qualified(module, dotted)
+            if isinstance(symbol, ClassSymbol):
+                return symbol
+        # Last resort: a unique class of that bare name anywhere.
+        tail = name.rpartition(".")[2]
+        matches = [
+            cls for cls in self.classes() if cls.name == tail
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        return None

@@ -127,6 +127,9 @@ class LintReport:
     suppressed: list[Finding] = field(default_factory=list)
     stale_baseline: list[dict] = field(default_factory=list)
     files_checked: int = 0
+    #: Lint-root-relative paths actually checked (equals every parsed
+    #: file on a full run; the changed-set expansion on ``--changed``).
+    checked_paths: list[str] = field(default_factory=list)
 
     @property
     def findings(self) -> list[Finding]:
@@ -169,6 +172,7 @@ class LintReport:
             "version": 1,
             "summary": {
                 "files_checked": self.files_checked,
+                "checked_paths": self.checked_paths,
                 "new": len(self.new),
                 "baselined": len(self.baselined),
                 "suppressed": len(self.suppressed),
@@ -192,6 +196,13 @@ class LintReport:
 
     def render_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_sarif(self) -> str:
+        """SARIF 2.1.0 document (``--format sarif``), for code-scanning
+        upload; see :mod:`repro.lint.sarif`."""
+        from repro.lint.sarif import report_to_sarif
+
+        return json.dumps(report_to_sarif(self), indent=2, sort_keys=True)
 
 
 def _package_root(directory: Path) -> Path:
@@ -254,31 +265,72 @@ def run_lint(
     paths: Sequence["str | Path"],
     baseline_path: "str | Path | None" = None,
     config: "LintConfig | None" = None,
+    restrict_to: "Sequence[str | Path] | None" = None,
 ) -> LintReport:
-    """Run every registered rule over *paths* and diff the baseline."""
+    """Run every registered rule over *paths* and diff the baseline.
+
+    With *restrict_to* (a collection of changed file paths), the whole
+    tree is still parsed and analyzed -- the dataflow layer and
+    cross-module rules need the complete picture to stay sound -- but
+    per-module checks and reported findings are limited to the changed
+    files plus every module that (transitively) imports one of them.
+    The baseline's stale-entry check is likewise limited to that set: a
+    partial run cannot know whether entries for unvisited files still
+    fire.
+    """
     # Importing the rules package registers the rule classes.
     import repro.lint.rules  # noqa: F401  (registration side effect)
 
     config = config or LintConfig()
     modules: list[ModuleInfo] = []
-    raw_findings: list[Finding] = []
+    parse_errors: list[tuple[Path, Finding]] = []
     for path, root in collect_files(paths):
         module, error = parse_module(path, root)
         if error is not None:
-            raw_findings.append(error)
+            parse_errors.append((path.resolve(), error))
             continue
         modules.append(module)
 
     ctx = LintContext(config, modules)
+
+    selected: "set[int] | None" = None
+    if restrict_to is not None:
+        changed = {Path(p).resolve() for p in restrict_to}
+        selected = _select_modules(ctx, changed)
+        parse_errors = [
+            (path, error) for path, error in parse_errors
+            if path in changed
+        ]
+
+    raw_findings: list[Finding] = [error for _, error in parse_errors]
+    checked = [
+        module for module in modules
+        if selected is None or id(module) in selected
+    ]
     for rule in all_rules():
         rule.configure(config)
-        for module in modules:
+        # Rules whose finalize() cross-references facts from the whole
+        # tree scan every module even in a restricted run; their
+        # findings are filtered back to the selection below.
+        scan = (modules if selected is not None and rule.needs_all_modules
+                else checked)
+        for module in scan:
             if rule.applies_to(module):
                 raw_findings.extend(rule.check_module(module, ctx))
         raw_findings.extend(rule.finalize(ctx))
 
+    checked_paths = {module.rel_path for module in checked} | {
+        error.path for _, error in parse_errors
+    }
+    if selected is not None:
+        raw_findings = [
+            finding for finding in raw_findings
+            if finding.path in checked_paths
+        ]
+
     by_path = {module.rel_path: module for module in modules}
-    report = LintReport(files_checked=len(modules))
+    report = LintReport(files_checked=len(checked))
+    report.checked_paths = sorted(checked_paths)
     kept: list[Finding] = []
     for finding in raw_findings:
         module = by_path.get(finding.path)
@@ -289,6 +341,28 @@ def run_lint(
 
     baseline = load_baseline(baseline_path)
     report.new, report.baselined, report.stale_baseline = (
-        diff_against_baseline(kept, baseline)
+        diff_against_baseline(
+            kept, baseline,
+            checked_paths=checked_paths if selected is not None else None,
+        )
     )
     return report
+
+
+def _select_modules(ctx: LintContext, changed: "set[Path]") -> set[int]:
+    """ids of the modules a change set makes worth re-checking."""
+    from repro.lint.dataflow import (
+        analysis_for,
+        module_imports,
+        reverse_dependents,
+    )
+
+    table = analysis_for(ctx).table
+    roots = {
+        table.name_of(module) for module in ctx.modules
+        if module.path.resolve() in changed
+    }
+    if not roots:
+        return set()
+    names = reverse_dependents(module_imports(table), roots)
+    return {id(table.module_names[name]) for name in names}

@@ -38,6 +38,11 @@ class Rule:
     #: Restrict the rule to modules inside these top-level packages
     #: (relative to the lint root); ``None`` means every module.
     packages: "tuple[str, ...] | None" = None
+    #: Whether :meth:`finalize` cross-references facts recorded from the
+    #: *whole* tree.  Such rules keep scanning every module in a
+    #: ``--changed`` run (their per-module pass is what records the
+    #: facts); rules that only report locally can skip unchanged files.
+    needs_all_modules: bool = False
 
     def configure(self, config) -> None:
         """Adopt run-wide :class:`~repro.lint.engine.LintConfig` knobs.

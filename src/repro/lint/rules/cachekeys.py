@@ -1,0 +1,274 @@
+"""ARC008: fields that influence results must reach the fingerprint.
+
+ARC001 checks a fingerprint *locally*: the method enumerates every
+field of its own dataclass (or justifies exclusions with a suppression).
+This rule closes the loop those suppressions open: an excluded field is
+only safe if nothing result-influencing ever reads it.  The disk cache
+keys simulation results by fingerprints -- if the engine's behaviour
+depends on a field the fingerprint omits, two configs that differ only
+in that field share a cache slot and one of them silently gets the
+other's results.
+
+Whole-program check, built on the dataflow symbol table:
+
+1. collect every fingerprinted dataclass (a ``fingerprint``/``to_dict``
+   method that hand-enumerates fields) and its *excluded* set -- fields
+   the dataclass declares but the method never references.  Methods
+   using a generic enumerator (``asdict`` & co.) exclude nothing;
+2. inside the engine packages, type every attribute read: parameter
+   annotations, ``self`` receivers, annotated instance attributes,
+   locals bound from constructors or annotated-return calls, and loop
+   variables over annotated containers;
+3. a read of an excluded field is flagged -- unless it occurs in a
+   *label-only* context, where the value demonstrably cannot steer the
+   simulation: a keyword argument named like a label (``name=``,
+   ``trace_name=``, ...), a string-keyed label entry in a dict literal,
+   or an f-string (presentation, error messages).
+
+The canonical allowed case is :class:`repro.trace.events.KernelTrace`'s
+cosmetic ``name``: excluded from the fingerprint (with a justified
+ARC001 suppression) and only ever read as ``trace_name=trace.name`` or
+inside f-strings.  Renaming a trace must not change which cache entry it
+hits; feeding ``trace.name`` into a branch in the engine would.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint import astutil
+from repro.lint.dataflow import (
+    ClassSymbol,
+    analysis_for,
+    annotation_name,
+)
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules.fingerprints import (
+    _FINGERPRINT_METHODS,
+    _referenced_fields,
+    _uses_generic_enumerator,
+)
+
+if TYPE_CHECKING:
+    from repro.lint.engine import LintContext, ModuleInfo
+
+__all__ = ["CacheKeyTaint"]
+
+_SHARED_KEY = "cachekeys.excluded"
+
+#: Keyword / dict-key names whose values are presentation-only.
+_LABEL_KEYWORDS = {"name", "trace_name", "label", "title", "description"}
+
+#: Container annotation heads whose element type we can extract.
+_CONTAINER_HEADS = {"list", "List", "tuple", "Tuple", "Sequence",
+                    "Iterable", "Iterator", "FrozenSet", "Set"}
+
+
+def _excluded_fields(cls: ClassSymbol) -> "tuple[str, set[str]] | None":
+    """(method name, excluded field set) for a fingerprinted dataclass."""
+    if not cls.is_dataclass or not cls.fields:
+        return None
+    for method_name in _FINGERPRINT_METHODS:
+        method = cls.methods.get(method_name)
+        if method is None:
+            continue
+        if _uses_generic_enumerator(method.node):
+            return None  # complete by construction
+        fields = set(cls.fields)
+        excluded = fields - _referenced_fields(method.node, fields)
+        if excluded:
+            return method_name, excluded
+        return None
+    return None
+
+
+def _element_class_name(node: "ast.AST | None") -> "str | None":
+    """Element class of a container annotation (``list[KernelTrace]``)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value.strip(), mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        head = astutil.dotted_name(node.value)
+        if head and head.rpartition(".")[2] in _CONTAINER_HEADS:
+            return annotation_name(node.slice)
+    return None
+
+
+def _label_read_ids(func: ast.AST) -> set[int]:
+    """ids of Attribute nodes appearing in label-only positions."""
+    label_roots: list[ast.AST] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg in _LABEL_KEYWORDS:
+                    label_roots.append(keyword.value)
+        elif isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if (isinstance(key, ast.Constant)
+                        and key.value in _LABEL_KEYWORDS):
+                    label_roots.append(value)
+        elif isinstance(node, ast.JoinedStr):
+            label_roots.append(node)
+    out: set[int] = set()
+    for root in label_roots:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Attribute):
+                out.add(id(node))
+    return out
+
+
+@register
+class CacheKeyTaint(Rule):
+    """Excluded fingerprint fields never steer engine behaviour."""
+
+    rule_id = "ARC008"
+    invariant = (
+        "every dataclass field the engine's behaviour depends on is "
+        "reachable from its fingerprint enumeration; excluded fields are "
+        "read only in label contexts"
+    )
+
+    def configure(self, config) -> None:
+        super().configure(config)
+        self.packages = config.engine_packages
+
+    # ------------------------------------------------------------------ #
+
+    def _exclusions(self, ctx: "LintContext"):
+        """class qname -> (ClassSymbol, method name, excluded fields)."""
+        cached = ctx.shared.get(_SHARED_KEY)
+        if cached is not None:
+            return cached
+        analysis = analysis_for(ctx)
+        exclusions: dict[str, tuple[ClassSymbol, str, set[str]]] = {}
+        for cls in analysis.table.classes():
+            info = _excluded_fields(cls)
+            if info is not None:
+                exclusions[cls.qname] = (cls, info[0], info[1])
+        ctx.shared[_SHARED_KEY] = exclusions
+        return exclusions
+
+    def check_module(
+        self, module: "ModuleInfo", ctx: "LintContext"
+    ) -> Iterable[Finding]:
+        exclusions = self._exclusions(ctx)
+        if not exclusions:
+            return
+        analysis = analysis_for(ctx)
+        watched_fields = {
+            field
+            for _, _, excluded in exclusions.values()
+            for field in excluded
+        }
+        for function in analysis.table.functions():
+            if function.module is not module:
+                continue
+            yield from self._check_function(
+                module, function, analysis, exclusions, watched_fields
+            )
+
+    def _check_function(self, module, function, analysis, exclusions,
+                        watched_fields) -> Iterable[Finding]:
+        # The fingerprint method needs no special casing: by definition
+        # it never references the fields it excludes.
+        types = self._type_env(module, function, analysis)
+        label_ids = _label_read_ids(function.node)
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Attribute) \
+                    or node.attr not in watched_fields \
+                    or id(node) in label_ids:
+                continue
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                continue
+            cls = self._receiver_class(node.value, types, function,
+                                       analysis, module)
+            if cls is None or cls.qname not in exclusions:
+                continue
+            _, method_name, excluded = exclusions[cls.qname]
+            if node.attr not in excluded:
+                continue
+            yield self.finding(
+                module, node.lineno,
+                f"`{cls.name}.{node.attr}` is excluded from "
+                f"`{cls.name}.{method_name}()` but is read here in a "
+                "result-influencing position; cached results keyed by "
+                "that fingerprint would collide across values of "
+                f"`{node.attr}` -- add the field to the fingerprint or "
+                "restrict the read to a label context",
+            )
+
+    # Typing ------------------------------------------------------------- #
+
+    def _type_env(self, module, function, analysis):
+        """name -> ClassSymbol for this function's receivers."""
+        table = analysis.table
+        types: dict[str, ClassSymbol] = {}
+        args = function.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            cls = table.resolve_class_name(
+                module, annotation_name(arg.annotation)
+            )
+            if cls is not None:
+                types[arg.arg] = cls
+        if function.cls is not None:
+            types.setdefault("self", function.cls)
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name):
+                cls = table.resolve_class_name(
+                    module, annotation_name(node.annotation)
+                )
+                if cls is not None:
+                    types.setdefault(node.target.id, cls)
+            elif isinstance(node, ast.Assign) \
+                    and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and isinstance(node.value, ast.Call):
+                cls = self._call_result_class(module, node.value, table)
+                if cls is not None:
+                    types.setdefault(node.targets[0].id, cls)
+            elif isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and isinstance(node.target, ast.Name):
+                cls = self._iter_element_class(module, node.iter,
+                                               function, table)
+                if cls is not None:
+                    types.setdefault(node.target.id, cls)
+        return types
+
+    def _call_result_class(self, module, call, table):
+        symbol = table.resolve_call(module, call)
+        if isinstance(symbol, ClassSymbol):
+            return symbol  # constructor
+        if symbol is not None and symbol.node.returns is not None:
+            return table.resolve_class_name(
+                module, annotation_name(symbol.node.returns)
+            )
+        return None
+
+    def _iter_element_class(self, module, iter_node, function, table):
+        if not isinstance(iter_node, ast.Name):
+            return None
+        args = function.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.arg == iter_node.id:
+                return table.resolve_class_name(
+                    module, _element_class_name(arg.annotation)
+                )
+        return None
+
+    def _receiver_class(self, receiver, types, function, analysis,
+                        module):
+        if isinstance(receiver, ast.Name):
+            return types.get(receiver.id)
+        # self.<attr>.<field>: type the instance attribute.
+        if (isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+                and function.cls is not None):
+            name = function.cls.attr_class.get(receiver.attr)
+            return analysis.table.resolve_class_name(module, name)
+        return None

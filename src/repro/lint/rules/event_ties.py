@@ -1,0 +1,164 @@
+"""ARC007: heap events in the engine carry a monotonic tiebreaker.
+
+The timing engine is a discrete-event simulation: sub-core readiness
+events live in a ``heapq`` and strategies *observe engine state* when
+they plan, so the order in which equal-time events pop is
+result-influencing.  Python's ``heapq`` breaks ties by comparing the
+whole pushed value -- for a bare ``(time, payload)`` tuple that means
+ties fall through to comparing payloads, which is either an exception
+(unorderable payloads) or, worse, a silent dependence on whatever the
+payload's comparison happens to be.  The engine's contract
+(:mod:`repro.gpu.engine`) is that every *tuple* pushed onto a heap ends
+in a monotonically increasing sequence number, so event order is a pure
+function of ``(time, explicit keys..., push order)`` and reruns are
+bit-identical.
+
+Statically checked on the pushed expression's shape, inside the engine
+packages:
+
+* ``heapq.heappush(heap, (...))`` where the tuple has no *sequence
+  element* -- a name containing ``seq`` that the function provably
+  advances (``seq += 1`` / ``seq = next(...)``), or an inline
+  ``next(...)`` call -- is flagged;
+* the same applies to ``heap.append((...))`` when ``heap`` is also a
+  ``heappush`` target in the same function (the engine seeds its heap by
+  appending in order before the event loop);
+* scalar pushes (``heappush(heap, t)``) are fine: floats totally order
+  and equal floats are interchangeable.
+
+The static check is backed by a runtime assert in the engine's pop loop,
+enabled by ``REPRO_SANITIZE=1``, which verifies the popped stream is
+strictly increasing -- the dynamic complement for anything this rule
+cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint import astutil
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:
+    from repro.lint.engine import LintContext, ModuleInfo
+
+__all__ = ["EventTies"]
+
+
+def _is_heappush(node: ast.Call, imports: dict[str, str]) -> bool:
+    qualified = astutil.qualified_call(node, imports)
+    return qualified in ("heapq.heappush", "heapq.heappushpop") \
+        and len(node.args) >= 2
+
+
+def _is_next_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and astutil.called_name(node) == "next")
+
+
+def _advanced_seq_names(func: ast.AST) -> set[str]:
+    """Names the function provably advances monotonically."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.AugAssign) \
+                and isinstance(node.target, ast.Name) \
+                and isinstance(node.op, ast.Add):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Assign) and _is_next_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _has_sequence_element(tuple_node: ast.Tuple,
+                          advanced: set[str]) -> bool:
+    for element in tuple_node.elts:
+        if _is_next_call(element):
+            return True
+        if isinstance(element, ast.Name) and "seq" in element.id.lower() \
+                and element.id in advanced:
+            return True
+    return False
+
+
+@register
+class EventTies(Rule):
+    """Tuple heap pushes end in a monotonic sequence tiebreaker."""
+
+    rule_id = "ARC007"
+    invariant = (
+        "every tuple pushed onto an engine event heap carries a "
+        "monotonically increasing sequence number, so equal-time events "
+        "pop in push order on every run"
+    )
+
+    def configure(self, config) -> None:
+        super().configure(config)
+        self.packages = config.engine_packages
+
+    def check_module(
+        self, module: "ModuleInfo", ctx: "LintContext"
+    ) -> Iterable[Finding]:
+        imports = astutil.import_map(module.tree)
+        for func in astutil.walk_functions(module.tree):
+            yield from self._check_function(module, func, imports)
+        # Module-level pushes (rare, but the contract still applies).
+        top_level = ast.Module(
+            body=[s for s in module.tree.body
+                  if not isinstance(s, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef,
+                                        ast.ClassDef))],
+            type_ignores=[],
+        )
+        yield from self._check_function(module, top_level, imports)
+
+    def _check_function(
+        self, module: "ModuleInfo", func: ast.AST, imports: dict[str, str]
+    ) -> Iterable[Finding]:
+        pushes: list[ast.Call] = []
+        heap_names: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.FunctionDef) and node is not func:
+                continue  # nested defs are walked on their own
+            if isinstance(node, ast.Call) and _is_heappush(node, imports):
+                pushes.append(node)
+                target = astutil.dotted_name(node.args[0])
+                if target:
+                    heap_names.add(target)
+        if not pushes:
+            return
+        advanced = _advanced_seq_names(func)
+        for push in pushes:
+            yield from self._check_push(
+                module, push, push.args[1], advanced
+            )
+        # Appends that seed a heap later served by heappush.
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "append"
+                    and len(node.args) == 1
+                    and astutil.dotted_name(node.func.value)
+                    in heap_names):
+                yield from self._check_push(
+                    module, node, node.args[0], advanced
+                )
+
+    def _check_push(
+        self, module: "ModuleInfo", site: ast.Call, value: ast.AST,
+        advanced: set[str]
+    ) -> Iterable[Finding]:
+        if not isinstance(value, ast.Tuple):
+            return  # scalar pushes totally order on their own
+        if _has_sequence_element(value, advanced):
+            return
+        yield self.finding(
+            module, site.lineno,
+            "tuple pushed onto an event heap without a monotonic "
+            "sequence tiebreaker; equal-time events would compare "
+            "payloads, making pop order run-dependent -- append a "
+            "`push_seq` counter element (incremented after every push)",
+        )

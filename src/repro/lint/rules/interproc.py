@@ -1,0 +1,74 @@
+"""ARC006: unit contracts hold across call boundaries.
+
+ARC003 checks unit arithmetic *inside* an expression or function; this
+rule checks the seams between functions, where the reproduction has
+actually been bitten: a helper computes a nanosecond service time, a
+caller three modules away feeds it into a ``*_cycles`` parameter, and
+every individual expression looks locally consistent.
+
+Built on the same dataflow layer, using the interprocedural pieces:
+
+* **call-site mismatch** -- an argument whose converged abstract unit is
+  nanoseconds reaches a parameter whose name declares cycles (or vice
+  versa).  Works positionally and by keyword, and through dataclass
+  constructors (``KernelTrace(compute_cycles=service_ns)``);
+* **return mismatch** -- a function whose *name* declares a unit
+  (``def issue_cycles(...)``) returns a value the interpreter proves to
+  be the other unit, possibly obtained from further calls via their
+  summaries.
+
+A value's unit can travel any number of calls before the mismatch: the
+fixpoint in :mod:`repro.lint.dataflow.summaries` converges the return
+units first, so ``a() -> b() -> c()`` chains need no special casing
+here.  Multiplying by ``clock_ghz`` (or dividing cycles by it) converts
+the unit in the lattice itself, so properly converted values cross any
+boundary silently.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.dataflow import analysis_for
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:
+    from repro.lint.engine import LintContext, ModuleInfo
+
+__all__ = ["InterprocUnits"]
+
+
+@register
+class InterprocUnits(Rule):
+    """ns/cycles contracts of parameters and returns hold at call sites."""
+
+    rule_id = "ARC006"
+    invariant = (
+        "a value tagged nanoseconds never reaches a cycles-typed "
+        "parameter or return (or vice versa) without a clock conversion"
+    )
+
+    def check_module(
+        self, module: "ModuleInfo", ctx: "LintContext"
+    ) -> Iterable[Finding]:
+        analysis = analysis_for(ctx)
+        for conflict in analysis.conflicts_in(module):
+            if conflict.kind == "arg":
+                callee, param = conflict.names
+                yield self.finding(
+                    module, conflict.line,
+                    f"{conflict.left}-valued argument passed to "
+                    f"parameter `{param}` of `{callee}`, which declares "
+                    f"{conflict.right}; convert through clock_ghz at "
+                    "the call site or fix the parameter's contract",
+                )
+            elif conflict.kind == "return":
+                (qname,) = conflict.names
+                yield self.finding(
+                    module, conflict.line,
+                    f"`{qname}` declares a {conflict.right} return "
+                    f"through its name but returns a "
+                    f"{conflict.left}-valued expression; convert before "
+                    "returning or rename the function",
+                )

@@ -8,24 +8,36 @@ in *shader cycles*.  The only legal bridge is multiplication by the clock
 dimensionally wrong yet numerically plausible -- exactly the bug class a
 test suite calibrated against aggregate figures cannot see.
 
-The rule works on identifier naming, which the config module already
-follows: bindings suffixed ``_ns``/``_NS`` carry nanoseconds, bindings
-suffixed ``_cycles`` carry cycles, and a term mentioning ``clock_ghz`` (or
-any ``*_ghz``) is treated as converted.  Checks:
+v2 runs on the dataflow layer (:mod:`repro.lint.dataflow`): identifier
+naming still *seeds* the units (``*_ns``/``*_NS`` is nanoseconds,
+``*_cycles`` is cycles, ``clock_ghz``/``*_ghz`` is a clock frequency),
+but the abstract interpreter then *propagates* the tags through
+assignments, augmented ops and intraprocedural flow, so a nanosecond
+value laundered through an unsuffixed local is still caught:
 
-* an additive expression (``+``/``-`` chain) containing both an
-  unconverted ns-term and a cycles-term;
+.. code-block:: python
+
+    v = table_ns["atomic"]     # v: ns (flowed, no suffix needed)
+    total_cycles += v          # ARC003: ns accumulated into cycles
+
+This rule reports the *local* conflict kinds; call- and return-boundary
+mismatches are ARC006 (:mod:`repro.lint.rules.interproc`):
+
+* an additive expression combining an ns-tagged and a cycles-tagged
+  value;
 * a bare numeric literal added to an ``*_NS`` table entry (the literal's
   unit is unknowable, so the table's ns contract is unverifiable);
-* storing a ``*_cycles`` value into an ``*_NS`` table.
+* storing or accumulating a cycles-valued expression into an ``*_NS``
+  table;
+* binding a value of one unit to a name or attribute whose suffix
+  declares the other.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import TYPE_CHECKING, Iterable
 
-from repro.lint import astutil
+from repro.lint.dataflow import analysis_for
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
 
@@ -34,57 +46,33 @@ if TYPE_CHECKING:
 
 __all__ = ["UnitSafety"]
 
-
-def _flatten_terms(node: ast.AST) -> list[ast.AST]:
-    """Terms of a ``+``/``-`` chain (``a + b - c`` -> ``[a, b, c]``)."""
-    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
-        return _flatten_terms(node.left) + _flatten_terms(node.right)
-    return [node]
-
-
-def _is_bare_number(node: ast.AST) -> bool:
-    if isinstance(node, ast.UnaryOp):
-        node = node.operand
-    return isinstance(node, ast.Constant) and isinstance(
-        node.value, (int, float)
-    )
-
-
-class _Tagger:
-    """Assigns a unit tag to one term of an additive chain."""
-
-    def __init__(self, config):
-        self.ns_suffixes = config.ns_suffixes
-        self.cycle_suffixes = config.cycle_suffixes
-        self.clock_names = config.clock_names
-
-    def tag(self, term: ast.AST) -> "str | None":
-        names = list(astutil.identifier_names(term))
-        if any(
-            name in self.clock_names or name.endswith("_ghz")
-            for name in names
-        ):
-            # A clock factor anywhere in the term converts it to cycles.
-            return "cycles"
-        if any(
-            name.endswith(suffix)
-            for name in names for suffix in self.ns_suffixes
-        ):
-            return "ns"
-        if any(
-            name.endswith(suffix)
-            for name in names for suffix in self.cycle_suffixes
-        ):
-            return "cycles"
-        if _is_bare_number(term):
-            return "literal"
-        return None
-
-    def mentions_ns_table(self, term: ast.AST) -> bool:
-        """An uppercase ``*_NS`` identifier marks a module-level table."""
-        return any(
-            name.endswith("_NS") for name in astutil.identifier_names(term)
-        )
+#: Conflict kinds this rule owns -> report message.  The remaining kinds
+#: (``arg``, ``return``) belong to ARC006.
+_MESSAGES = {
+    "mix": (
+        "additive expression mixes nanosecond-suffixed and "
+        "cycle-suffixed terms without a clock_ghz conversion; "
+        "convert with `ns * clock_ghz` before summing"
+    ),
+    "table-literal-add": (
+        "bare numeric literal added to a *_NS table entry: the "
+        "literal's unit is unknowable; name it with a _ns suffix "
+        "or pre-convert it to the table's domain"
+    ),
+    "table-literal-aug": (
+        "bare numeric literal accumulated into a *_NS table "
+        "entry; name the quantity with a _ns suffix so its unit "
+        "is checkable"
+    ),
+    "table-store-aug": (
+        "cycle-valued expression accumulated into a *_NS table; "
+        "the table's contract is nanoseconds"
+    ),
+    "table-store": (
+        "cycle-valued expression stored into a *_NS "
+        "table; the table's contract is nanoseconds"
+    ),
+}
 
 
 @register
@@ -100,86 +88,25 @@ class UnitSafety(Rule):
     def check_module(
         self, module: "ModuleInfo", ctx: "LintContext"
     ) -> Iterable[Finding]:
-        tagger = _Tagger(self.config)
-        # Only root additive chains are checked: operands of a larger
-        # chain were already flattened into it.
-        additive_children: set[int] = set()
-        roots: list[ast.BinOp] = []
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.BinOp) and isinstance(
-                node.op, (ast.Add, ast.Sub)
-            ):
-                roots.append(node)
-                for side in (node.left, node.right):
-                    if isinstance(side, ast.BinOp) and isinstance(
-                        side.op, (ast.Add, ast.Sub)
-                    ):
-                        additive_children.add(id(side))
-            elif isinstance(node, ast.AugAssign) and isinstance(
-                node.op, (ast.Add, ast.Sub)
-            ):
-                yield from self._check_aug_assign(module, node, tagger)
-            elif isinstance(node, ast.Assign):
-                yield from self._check_assign(module, node, tagger)
-
-        for root in roots:
-            if id(root) in additive_children:
-                continue
-            yield from self._check_chain(module, root, tagger)
-
-    def _check_chain(
-        self, module: "ModuleInfo", root: ast.BinOp, tagger: _Tagger
-    ) -> Iterable[Finding]:
-        terms = _flatten_terms(root)
-        tags = [tagger.tag(term) for term in terms]
-        if "ns" in tags and "cycles" in tags:
-            yield self.finding(
-                module, root.lineno,
-                "additive expression mixes nanosecond-suffixed and "
-                "cycle-suffixed terms without a clock_ghz conversion; "
-                "convert with `ns * clock_ghz` before summing",
-            )
-        elif "ns" in tags and "literal" in tags and any(
-            tag == "ns" and tagger.mentions_ns_table(term)
-            for term, tag in zip(terms, tags)
-        ):
-            yield self.finding(
-                module, root.lineno,
-                "bare numeric literal added to a *_NS table entry: the "
-                "literal's unit is unknowable; name it with a _ns suffix "
-                "or pre-convert it to the table's domain",
-            )
-
-    def _check_aug_assign(
-        self, module: "ModuleInfo", node: ast.AugAssign, tagger: _Tagger
-    ) -> Iterable[Finding]:
-        if not tagger.mentions_ns_table(node.target):
-            return
-        value_tag = tagger.tag(node.value)
-        if value_tag == "cycles":
-            yield self.finding(
-                module, node.lineno,
-                "cycle-valued expression accumulated into a *_NS table; "
-                "the table's contract is nanoseconds",
-            )
-        elif value_tag == "literal":
-            yield self.finding(
-                module, node.lineno,
-                "bare numeric literal accumulated into a *_NS table "
-                "entry; name the quantity with a _ns suffix so its unit "
-                "is checkable",
-            )
-
-    def _check_assign(
-        self, module: "ModuleInfo", node: ast.Assign, tagger: _Tagger
-    ) -> Iterable[Finding]:
-        for target in node.targets:
-            if isinstance(target, ast.Subscript) and tagger.mentions_ns_table(
-                target.value
-            ):
-                if tagger.tag(node.value) == "cycles":
-                    yield self.finding(
-                        module, node.lineno,
-                        "cycle-valued expression stored into a *_NS "
-                        "table; the table's contract is nanoseconds",
-                    )
+        analysis = analysis_for(ctx)
+        for conflict in analysis.conflicts_in(module):
+            if conflict.kind == "mix":
+                yield self.finding(
+                    module, conflict.line, _MESSAGES["mix"]
+                )
+            elif conflict.kind == "table-literal":
+                key = ("table-literal-aug" if conflict.augmented
+                       else "table-literal-add")
+                yield self.finding(module, conflict.line, _MESSAGES[key])
+            elif conflict.kind == "table-store":
+                key = ("table-store-aug" if conflict.augmented
+                       else "table-store")
+                yield self.finding(module, conflict.line, _MESSAGES[key])
+            elif conflict.kind == "binding":
+                name = conflict.names[0]
+                yield self.finding(
+                    module, conflict.line,
+                    f"{conflict.left}-valued expression bound to "
+                    f"`{name}`, whose suffix declares {conflict.right}; "
+                    "rename the binding or convert through clock_ghz",
+                )

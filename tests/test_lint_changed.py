@@ -1,0 +1,240 @@
+"""The v2 lint surfaces: ``--changed``, ``--format sarif``, baseline
+refresh/pruning, and the git-diff file selection behind them.
+
+The ``--changed`` contract under test: the whole tree is still parsed
+(the dataflow layer needs the complete program to stay sound), but
+findings, the files-checked count, and the stale-baseline check are
+restricted to the changed files plus their transitive importers.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import refresh_baseline, run_lint, write_baseline
+from repro.lint.changed import GitError, changed_files
+
+
+def make_tree(root: Path, files: dict) -> Path:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+#: Three modules: `timing` has an ARC003 mix, `pipe` imports it (and is
+#: clean), `island` has its own independent ARC002 violation.
+_TREE = {
+    "core/__init__.py": "",
+    "core/timing.py": (
+        "def total(service_ns, issue_cycles):\n"
+        "    return service_ns + issue_cycles\n"
+    ),
+    "core/pipe.py": (
+        "from core.timing import total\n"
+        "def drive(a_ns, b_cycles):\n"
+        "    return total(a_ns, b_cycles)\n"
+    ),
+    "core/island.py": (
+        "import random\n"
+        "def jitter():\n"
+        "    return random.random()\n"
+    ),
+}
+
+
+# --------------------------------------------------------------------- #
+# run_lint(restrict_to=...)
+# --------------------------------------------------------------------- #
+
+
+def test_restrict_to_expands_through_importers(tmp_path):
+    tree = make_tree(tmp_path, _TREE)
+    report = run_lint([tree], restrict_to=[tree / "core/timing.py"])
+    # timing itself plus its importer pipe; island is untouched by the
+    # change and must be neither checked nor reported on.
+    assert report.checked_paths == ["core/pipe.py", "core/timing.py"]
+    assert report.files_checked == 2
+    assert {f.rule for f in report.new} == {"ARC003"}
+    assert all(f.path != "core/island.py" for f in report.new)
+
+
+def test_restrict_to_island_reports_only_island(tmp_path):
+    tree = make_tree(tmp_path, _TREE)
+    report = run_lint([tree], restrict_to=[tree / "core/island.py"])
+    assert report.checked_paths == ["core/island.py"]
+    assert {f.rule for f in report.new} == {"ARC002"}
+
+
+def test_restrict_to_unknown_file_checks_nothing(tmp_path):
+    tree = make_tree(tmp_path, _TREE)
+    report = run_lint([tree], restrict_to=[tree / "core/nothere.py"])
+    assert report.checked_paths == []
+    assert report.new == []
+    assert report.exit_code == 0
+
+
+def test_restricted_run_ignores_stale_entries_outside_selection(tmp_path):
+    tree = make_tree(tmp_path, _TREE)
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, run_lint([tree]).new)
+    # Fix island's violation, then lint only timing's closure: island's
+    # now-stale entry is outside the checked set and must not fail a
+    # partial run (the next full run still flags it).
+    (tree / "core/island.py").write_text("def jitter():\n    return 0.5\n")
+    partial = run_lint([tree], baseline_path=baseline,
+                       restrict_to=[tree / "core/timing.py"])
+    assert partial.stale_baseline == []
+    assert partial.exit_code == 0
+    full = run_lint([tree], baseline_path=baseline)
+    assert len(full.stale_baseline) == 1
+
+
+# --------------------------------------------------------------------- #
+# changed_files (git selection)
+# --------------------------------------------------------------------- #
+
+
+def _git(tree: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", *args], cwd=tree, check=True, capture_output=True,
+        env={"HOME": str(tree), "GIT_AUTHOR_NAME": "t",
+             "GIT_AUTHOR_EMAIL": "t@t", "GIT_COMMITTER_NAME": "t",
+             "GIT_COMMITTER_EMAIL": "t@t",
+             "GIT_CONFIG_GLOBAL": "/dev/null",
+             "GIT_CONFIG_SYSTEM": "/dev/null"},
+    )
+
+
+@pytest.fixture
+def git_tree(tmp_path):
+    tree = make_tree(tmp_path / "tree", _TREE)
+    _git(tree, "init", "-q")
+    _git(tree, "add", "-A")
+    _git(tree, "commit", "-qm", "seed")
+    return tree
+
+
+def test_changed_files_sees_worktree_and_untracked(git_tree):
+    assert changed_files("HEAD", cwd=git_tree) == []
+    (git_tree / "core/timing.py").write_text("X_NS = 1.0\n")
+    (git_tree / "core/fresh.py").write_text("Y = 2\n")
+    (git_tree / "notes.txt").write_text("not python\n")
+    changed = {p.name for p in changed_files("HEAD", cwd=git_tree)}
+    assert changed == {"timing.py", "fresh.py"}
+
+
+def test_changed_files_rejects_bad_revision(git_tree):
+    with pytest.raises(GitError):
+        changed_files("no-such-rev", cwd=git_tree)
+
+
+def test_cli_changed_end_to_end(git_tree, monkeypatch, capsys):
+    monkeypatch.chdir(git_tree)
+    # Clean worktree: nothing to lint, exit 0 without running rules.
+    assert main(["lint", str(git_tree), "--no-baseline", "--changed"]) == 0
+    assert "nothing to lint" in capsys.readouterr().out
+    # Touch timing: its ARC003 fires; island's ARC002 stays out of view.
+    (git_tree / "core/timing.py").write_text(
+        "def total(service_ns, issue_cycles):\n"
+        "    return service_ns + issue_cycles\n"
+        "\n"
+    )
+    assert main(["lint", str(git_tree), "--no-baseline", "--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "ARC003" in out
+    assert "ARC002" not in out
+
+
+# --------------------------------------------------------------------- #
+# SARIF output
+# --------------------------------------------------------------------- #
+
+
+def test_cli_sarif_document_shape(tmp_path, capsys):
+    tree = make_tree(tmp_path / "tree", _TREE)
+    assert main(["lint", str(tree), "--no-baseline",
+                 "--format", "sarif"]) == 1
+    captured = capsys.readouterr()
+    doc = json.loads(captured.out)
+    assert doc["version"] == "2.1.0"
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "arclint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert {"ARC001", "ARC008"} <= set(rule_ids)
+    results = run["results"]
+    assert {r["ruleId"] for r in results} >= {"ARC002", "ARC003"}
+    for result in results:
+        assert "arclintContentId/v1" in result["partialFingerprints"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(".py")
+        assert location["region"]["startLine"] >= 1
+    # The human summary goes to stderr so stdout stays a pure document.
+    assert "new finding" in captured.err
+
+
+def test_sarif_marks_baselined_results_suppressed(tmp_path, capsys):
+    tree = make_tree(tmp_path / "tree", _TREE)
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, run_lint([tree]).new)
+    assert main(["lint", str(tree), "--baseline", str(baseline),
+                 "--format", "sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    results = doc["runs"][0]["results"]
+    assert results, "baselined findings must still appear in SARIF"
+    assert all(
+        result["suppressions"][0]["kind"] == "external"
+        for result in results
+    )
+
+
+# --------------------------------------------------------------------- #
+# Baseline refresh (--fix-baseline)
+# --------------------------------------------------------------------- #
+
+
+def test_refresh_baseline_reports_added_and_pruned(tmp_path):
+    tree = make_tree(tmp_path / "tree", _TREE)
+    baseline = tmp_path / "baseline.json"
+    total, added, pruned = refresh_baseline(baseline, run_lint([tree]).new)
+    assert (total, added, pruned) == (2, 2, 0)
+    # Fix island's violation: its entry must be pruned, nothing added.
+    (tree / "core/island.py").write_text("def jitter():\n    return 0.5\n")
+    total, added, pruned = refresh_baseline(baseline, run_lint([tree]).new)
+    assert (total, added, pruned) == (1, 0, 1)
+    assert run_lint([tree], baseline_path=baseline).exit_code == 0
+
+
+def test_refresh_baseline_partial_keeps_unchecked_entries(tmp_path):
+    tree = make_tree(tmp_path / "tree", _TREE)
+    baseline = tmp_path / "baseline.json"
+    refresh_baseline(baseline, run_lint([tree]).new)
+    # A --changed refresh over timing's closure must leave island's
+    # entry alone even though the restricted run never saw it fire.
+    restricted = run_lint([tree], restrict_to=[tree / "core/timing.py"])
+    total, added, pruned = refresh_baseline(
+        baseline, restricted.new,
+        checked_paths=set(restricted.checked_paths),
+    )
+    assert (total, added, pruned) == (2, 0, 0)
+    assert run_lint([tree], baseline_path=baseline).exit_code == 0
+
+
+def test_cli_fix_baseline_prints_prune_counts(tmp_path, capsys):
+    tree = make_tree(tmp_path / "tree", _TREE)
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(tree), "--baseline", str(baseline),
+                 "--fix-baseline"]) == 0
+    assert "(2 added, 0 pruned)" in capsys.readouterr().out
+    (tree / "core/island.py").write_text("def jitter():\n    return 0.5\n")
+    assert main(["lint", str(tree), "--baseline", str(baseline),
+                 "--fix-baseline"]) == 0
+    assert "(0 added, 1 pruned)" in capsys.readouterr().out

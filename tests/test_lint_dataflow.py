@@ -1,0 +1,223 @@
+"""Unit tests for arclint's dataflow layer (:mod:`repro.lint.dataflow`).
+
+The rule-level behaviour (which trees produce which findings) lives in
+``tests/test_lint_fixtures.py``; these tests pin the layer's internal
+contracts -- lattice transfer functions, symbol/call-graph resolution,
+import-graph dependents, and the fixpoint's return-unit inference --
+so a regression is attributable to the layer that broke, not to
+whichever rule noticed first.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.dataflow import (
+    Unit,
+    add_units,
+    analysis_for,
+    div_units,
+    join,
+    module_imports,
+    mul_units,
+    reverse_dependents,
+)
+from repro.lint.engine import (
+    LintConfig,
+    LintContext,
+    collect_files,
+    parse_module,
+)
+
+
+def build_analysis(tmp_path: Path, files: dict):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    modules = []
+    for path, root in collect_files([tmp_path]):
+        module, error = parse_module(path, root)
+        assert error is None, f"fixture does not parse: {error}"
+        modules.append(module)
+    return analysis_for(LintContext(LintConfig(), modules))
+
+
+# --------------------------------------------------------------------- #
+# Lattice transfer functions
+# --------------------------------------------------------------------- #
+
+
+def test_join_is_lub():
+    assert join(Unit.NS, Unit.NS) is Unit.NS
+    # DIMLESS is absorbed: a 0.0 accumulator must not erase later units.
+    assert join(Unit.DIMLESS, Unit.CYCLES) is Unit.CYCLES
+    assert join(Unit.NS, Unit.DIMLESS) is Unit.NS
+    # Incompatible informative tags merge to top, never to an error.
+    assert join(Unit.NS, Unit.CYCLES) is Unit.UNKNOWN
+    assert join(Unit.UNKNOWN, Unit.NS) is Unit.UNKNOWN
+
+
+def test_add_keeps_common_unit():
+    assert add_units(Unit.NS, Unit.NS) is Unit.NS
+    assert add_units(Unit.CYCLES, Unit.DIMLESS) is Unit.CYCLES
+    assert add_units(Unit.NS, Unit.CYCLES) is Unit.UNKNOWN
+
+
+@pytest.mark.parametrize("a,b", [(Unit.NS, Unit.GHZ), (Unit.GHZ, Unit.NS)])
+def test_mul_converts_ns_to_cycles(a, b):
+    assert mul_units(a, b) is Unit.CYCLES
+
+
+def test_mul_scales_by_dimensionless():
+    assert mul_units(Unit.NS, Unit.DIMLESS) is Unit.NS
+    assert mul_units(Unit.DIMLESS, Unit.CYCLES) is Unit.CYCLES
+    assert mul_units(Unit.NS, Unit.CYCLES) is Unit.UNKNOWN
+
+
+def test_div_converts_cycles_back_to_ns():
+    assert div_units(Unit.CYCLES, Unit.GHZ) is Unit.NS
+    assert div_units(Unit.NS, Unit.DIMLESS) is Unit.NS
+    assert div_units(Unit.NS, Unit.NS) is Unit.DIMLESS
+    assert div_units(Unit.UNKNOWN, Unit.UNKNOWN) is Unit.UNKNOWN
+
+
+# --------------------------------------------------------------------- #
+# Symbol table
+# --------------------------------------------------------------------- #
+
+_TWO_MODULES = {
+    "core/__init__.py": "",
+    "core/timing.py": (
+        "def service_time_ns(width):\n"
+        "    return width * 0.25\n"
+    ),
+    "core/pipe.py": (
+        "from core.timing import service_time_ns\n"
+        "class Engine:\n"
+        "    def issue(self, width):\n"
+        "        return self.cost(width)\n"
+        "    def cost(self, width):\n"
+        "        return service_time_ns(width)\n"
+    ),
+}
+
+
+def test_symbol_table_indexes_functions_and_classes(tmp_path):
+    table = build_analysis(tmp_path, _TWO_MODULES).table
+    qnames = {f.qname for f in table.functions()}
+    assert "core.timing.service_time_ns" in qnames
+    assert "core.pipe.Engine.issue" in qnames
+    assert {c.qname for c in table.classes()} == {"core.pipe.Engine"}
+
+
+def test_symbol_table_iteration_is_deterministic(tmp_path):
+    table = build_analysis(tmp_path, _TWO_MODULES).table
+    once = [f.qname for f in table.functions()]
+    again = [f.qname for f in table.functions()]
+    assert once == again == sorted(once)
+
+
+def test_resolve_module_by_dotted_suffix(tmp_path):
+    table = build_analysis(tmp_path, _TWO_MODULES).table
+    assert table.resolve_module("core.timing") == "core.timing"
+    assert table.resolve_module("no.such.module") is None
+
+
+# --------------------------------------------------------------------- #
+# Call graph
+# --------------------------------------------------------------------- #
+
+
+def test_callgraph_resolves_cross_module_and_self_calls(tmp_path):
+    graph = build_analysis(tmp_path, _TWO_MODULES).graph
+    # Cross-module call through a from-import.
+    assert [f.qname for f in graph.callees("core.pipe.Engine.cost")] == [
+        "core.timing.service_time_ns"
+    ]
+    # self.method() resolves inside the enclosing class.
+    assert [f.qname for f in graph.callees("core.pipe.Engine.issue")] == [
+        "core.pipe.Engine.cost"
+    ]
+    callers = {f.qname for f in graph.callers("core.timing.service_time_ns")}
+    assert callers == {"core.pipe.Engine.cost"}
+
+
+# --------------------------------------------------------------------- #
+# Import graph and dependents (powers ``repro lint --changed``)
+# --------------------------------------------------------------------- #
+
+
+def test_reverse_dependents_transitive_closure(tmp_path):
+    analysis = build_analysis(tmp_path, {
+        "base.py": "X = 1\n",
+        "mid.py": "from base import X\nY = X + 1\n",
+        "top.py": "import mid\nZ = mid.Y\n",
+        "island.py": "W = 9\n",
+    })
+    imports = module_imports(analysis.table)
+    assert imports["mid"] == {"base"}
+    assert imports["top"] == {"mid"}
+    # A change to base must re-check everything that can observe it --
+    # including transitively -- and nothing else.
+    assert reverse_dependents(imports, {"base"}) == {"base", "mid", "top"}
+    assert reverse_dependents(imports, {"top"}) == {"top"}
+    assert reverse_dependents(imports, {"island"}) == {"island"}
+
+
+# --------------------------------------------------------------------- #
+# Fixpoint summaries
+# --------------------------------------------------------------------- #
+
+
+def test_return_units_converge_through_call_chains(tmp_path):
+    summaries = build_analysis(tmp_path, {
+        "mod.py": (
+            "def base_ns(width):\n"
+            "    return width * 0.5\n"
+            "def padded(width):\n"
+            "    return base_ns(width) + 1.5\n"
+            "def converted(width, clock_ghz):\n"
+            "    return padded(width) * clock_ghz\n"
+        ),
+    }).summaries
+    # base_ns's unit comes from its name contract; padded inherits it
+    # through the call + dimensionless add; converted crosses the clock.
+    assert summaries.return_unit_of("mod.base_ns") is Unit.NS
+    assert summaries.return_unit_of("mod.padded") is Unit.NS
+    assert summaries.return_unit_of("mod.converted") is Unit.CYCLES
+
+
+def test_branch_join_keeps_unit_when_both_arms_agree(tmp_path):
+    analysis = build_analysis(tmp_path, {
+        "mod.py": (
+            "def pick(flag, a_ns, b_ns, c_cycles):\n"
+            "    if flag:\n"
+            "        x = a_ns\n"
+            "    else:\n"
+            "        x = b_ns\n"
+            "    return x + c_cycles\n"
+        ),
+    })
+    module = analysis.table.module_names["mod"]
+    kinds = {c.kind for c in analysis.conflicts_in(module)}
+    assert "mix" in kinds  # x is provably ns after the join
+
+
+def test_branch_join_to_unknown_stays_silent(tmp_path):
+    # Arms disagree: x joins to UNKNOWN, and UNKNOWN is never reported
+    # on -- false silence is acceptable, false alarms are not.
+    analysis = build_analysis(tmp_path, {
+        "mod.py": (
+            "def pick(flag, a_ns, c_cycles):\n"
+            "    if flag:\n"
+            "        x = a_ns\n"
+            "    else:\n"
+            "        x = c_cycles\n"
+            "    return x + c_cycles\n"
+        ),
+    })
+    module = analysis.table.module_names["mod"]
+    assert analysis.conflicts_in(module) == []
