@@ -5,6 +5,7 @@ Thin wrappers over the library for the common one-off questions:
 * ``list``       -- available workloads, strategies and GPUs.
 * ``profile``    -- a workload's atomic-trace characteristics (Obs. 1/2).
 * ``simulate``   -- speedup table of strategies on one workload.
+* ``timeline``   -- summarize a saved telemetry timeline file.
 * ``train``      -- train a workload's model and report loss/PSNR.
 * ``breakdown``  -- training-time phase breakdown (Figure 4).
 * ``tune``       -- balancing-threshold sweep (§5.5.3 / Figure 23).
@@ -18,6 +19,15 @@ uncached run.  Parallel runs are fault tolerant (retries, per-cell
 timeouts via ``REPRO_CELL_TIMEOUT``, pool-crash recovery, resumable
 manifests) and print a recovery report after the table.
 
+Observability: ``simulate --timeline out.json`` saves a per-strategy
+telemetry timeline, ``profile --perfetto out.trace.json`` writes a
+Perfetto-loadable Chrome trace, and ``timeline <file>`` summarizes a
+saved timeline (peak LSU occupancy, saturation fractions, hottest
+slots).  ``--format json`` on ``simulate``/``profile`` emits
+machine-readable results; ``--log FILE`` streams structured JSONL run
+events (cells, cache, retries) and ``-v``/``REPRO_LOG_LEVEL`` raise
+stderr diagnostic verbosity.
+
 ``lint`` dispatches before the simulation stack is imported: pre-commit
 hooks run ``repro lint --changed`` on every commit, so its startup cost
 is numpy-free.  The other commands import what they need lazily.
@@ -27,6 +37,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+from repro import obslog
+from repro.obslog import console
 
 __all__ = ["main"]
 
@@ -66,6 +79,20 @@ def _add_gpu_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    """``-v`` / ``--log``: shared by the simulation-stack subcommands."""
+    parser.add_argument(
+        "--verbose", "-v", action="count", default=0,
+        help="raise stderr diagnostic verbosity (-v info, -vv debug; "
+             "REPRO_LOG_LEVEL overrides)",
+    )
+    parser.add_argument(
+        "--log", metavar="FILE", default=None,
+        help="append structured JSONL run events (cells, cache, "
+             "retries) to FILE; worker processes share the stream",
+    )
+
+
 def _positive_int(text: str) -> int:
     """argparse type for worker counts: a friendly error, not a
     traceback, on ``--jobs 0`` / ``--jobs -3`` / ``--jobs many``."""
@@ -95,6 +122,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "profile", help="atomic-trace characteristics of a workload"
     )
     _add_workload_arg(profile)
+    _add_gpu_arg(profile)
+    profile.add_argument(
+        "--strategy", default="baseline", metavar="NAME",
+        help="strategy simulated for --perfetto / the JSON stall report "
+             "(default: baseline)",
+    )
+    profile.add_argument(
+        "--perfetto", metavar="FILE", default=None,
+        help="simulate the workload and write a Perfetto-loadable "
+             "Chrome trace-event JSON timeline to FILE",
+    )
+    profile.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json: trace profile + stall report)",
+    )
+    _add_observability_args(profile)
 
     simulate = sub.add_parser(
         "simulate", help="compare atomic strategies on one workload"
@@ -114,6 +157,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the persistent on-disk simulation cache",
     )
+    simulate.add_argument(
+        "--timeline", metavar="FILE", default=None,
+        help="save a telemetry timeline (.json or .npz) per strategy; "
+             "with several strategies the name gains a strategy infix",
+    )
+    simulate.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (json: one SimResult.to_dict() per strategy)",
+    )
+    _add_observability_args(simulate)
+
+    timeline = sub.add_parser(
+        "timeline", help="summarize a saved telemetry timeline file"
+    )
+    timeline.add_argument(
+        "file", metavar="FILE",
+        help="timeline written by `simulate --timeline` (.json or .npz)",
+    )
+    timeline.add_argument(
+        "--top", type=_positive_int, default=5, metavar="K",
+        help="how many hottest address slots to report (default: 5)",
+    )
+    timeline.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
+    )
+    _add_observability_args(timeline)
 
     train = sub.add_parser("train", help="train a workload's model")
     _add_workload_arg(train)
@@ -206,13 +276,62 @@ def _cmd_list() -> int:
 
 
 def _cmd_profile(args) -> int:
+    import json
+
     from repro.trace.analysis import profile_trace
 
     workload = load_workload(args.workload)
-    profile = profile_trace(workload.capture_trace())
+    trace = workload.capture_trace()
+    profile = profile_trace(trace)
+
+    needs_simulation = args.perfetto is not None or args.format == "json"
+    result = None
+    if needs_simulation:
+        from repro.experiments.runner import make_strategy
+        from repro.gpu import SIMULATED_GPUS, Telemetry, simulate_kernel
+
+        gpu = SIMULATED_GPUS[args.gpu]
+        telemetry = Telemetry()
+        result = simulate_kernel(
+            trace, gpu, make_strategy(args.strategy), telemetry=telemetry
+        )
+        if args.perfetto is not None:
+            from repro.profiling import to_chrome_trace
+
+            with open(args.perfetto, "w") as handle:
+                json.dump(to_chrome_trace(telemetry), handle)
+
+    if args.format == "json":
+        from repro.profiling import stall_report
+
+        report = stall_report(result)
+        print(json.dumps({
+            "profile": {
+                "name": profile.name,
+                "n_batches": profile.n_batches,
+                "num_params": profile.num_params,
+                "lane_ops": profile.lane_ops,
+                "locality": profile.locality,
+                "mean_active": profile.mean_active,
+                "mean_groups": profile.mean_groups,
+                "histogram": profile.histogram.tolist(),
+            },
+            "stall_report": {
+                "workload": report.workload,
+                "gpu": report.gpu,
+                "strategy": report.strategy,
+                "stalls_per_instruction": report.stalls_per_instruction,
+                "breakdown": report.breakdown,
+            },
+        }, indent=2, sort_keys=True))
+        return 0
+
     print(profile)
     print(f"  intra-warp locality (Obs. 1): {profile.locality:.1%}")
     print(f"  mean active lanes   (Obs. 2): {profile.mean_active:.1f} / 32")
+    if args.perfetto is not None:
+        print(f"perfetto trace written: {args.perfetto} "
+              "(open at https://ui.perfetto.dev)")
     return 0
 
 
@@ -261,12 +380,16 @@ def _cmd_simulate(args) -> int:
             print(format_run_report(run_report), file=sys.stderr)
             return 1
     rows = []
+    results = {}
+    skipped = []
     baseline = None
     for name in args.strategies:
         if "SW-B" in name and not trace.bfly_eligible:
             rows.append([name, "-", "-", "- (divergent kernel)"])
+            skipped.append(name)
             continue
         result = get_result(args.workload, args.gpu, name)
+        results[name] = result
         if baseline is None or name == "baseline":
             baseline = baseline or result
         rows.append(
@@ -274,19 +397,99 @@ def _cmd_simulate(args) -> int:
              f"{result.rop_ops:,}",
              f"{result.speedup_over(baseline):.2f}x"]
         )
+
+    timeline_paths = {}
+    if args.timeline is not None:
+        from repro.experiments.runner import make_strategy
+        from repro.profiling import capture_timeline, save_timeline
+
+        for name in results:
+            path = _timeline_path(args.timeline, name,
+                                  multiple=len(results) > 1)
+            save_timeline(
+                capture_timeline(trace, gpu, make_strategy(name)), path
+            )
+            timeline_paths[name] = path
+
+    if args.format == "json":
+        import json
+
+        print(json.dumps({
+            "workload": args.workload,
+            "gpu": gpu.name,
+            "results": [results[name].to_dict() for name in results],
+            "skipped": skipped,
+            "timelines": timeline_paths,
+        }, indent=2, sort_keys=True))
+        return 0
+
     print(format_table(
         ["strategy", "cycles", "ROP ops", "speedup"], rows,
         title=f"{args.workload} gradient kernel on {gpu.name}",
     ))
+    for name, path in timeline_paths.items():
+        console.info("timeline written: %s [%s]", path, name)
     if run_report is not None:
         from repro.experiments.report import format_run_report
 
-        print()
-        print(format_run_report(run_report, title="execution"))
+        console.info("")
+        console.info(format_run_report(run_report, title="execution"))
     cache = diskcache.active_cache()
     if cache is not None and cache.stats.lookups:
-        print()
-        print(format_cache_stats(cache.stats, title=f"cache: {cache.root}"))
+        console.info("")
+        console.info(
+            format_cache_stats(cache.stats, title=f"cache: {cache.root}")
+        )
+    return 0
+
+
+def _timeline_path(base: str, strategy: str, multiple: bool) -> str:
+    """Where one strategy's timeline lands for ``--timeline base``.
+
+    A single-strategy run writes exactly *base*; a multi-strategy run
+    inserts the strategy name before the suffix so files don't clobber.
+    """
+    if not multiple:
+        return base
+    root, dot, suffix = base.rpartition(".")
+    if not dot:
+        return f"{base}.{strategy}"
+    return f"{root}.{strategy}.{suffix}"
+
+
+def _cmd_timeline(args) -> int:
+    import json
+
+    from repro.profiling import load_timeline, summarize_timeline
+
+    try:
+        telemetry = load_timeline(args.file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read timeline {args.file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    summary = summarize_timeline(telemetry, top_k=args.top)
+    if args.format == "json":
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"{summary.trace_name} on {summary.gpu} [{summary.strategy}]: "
+          f"{summary.total_cycles:,.0f} cycles")
+    saturated = " (saturated)" if summary.lsu_saturated else ""
+    print(f"  peak LSU occupancy: {summary.peak_lsu_occupancy} / "
+          f"{summary.lsu_queue_depth} entries{saturated}, "
+          f"{summary.lsu_full_events:,} full events")
+    print(f"  peak ROP busy:      {summary.peak_rop_busy} / "
+          f"{summary.rops_per_partition} units in one partition")
+    print("  saturated time:     " + ", ".join(
+        f"{name} {fraction:.1%}"
+        for name, fraction in summary.saturated_frac.items()
+    ))
+    print(f"  interconnect util:  {summary.interconnect_utilization:.1%}")
+    if summary.hot_slots:
+        print(f"  hottest slots (top {len(summary.hot_slots)}):")
+        for slot, busy, ops in summary.hot_slots:
+            print(f"    slot {int(slot):>6}: {busy:,.0f} busy cycles, "
+                  f"{int(ops):,} ROP ops")
     return 0
 
 
@@ -436,17 +639,29 @@ def main(argv: list[str] | None = None) -> int:
         _add_lint_arguments(lint_parser)
         return _cmd_lint(lint_parser.parse_args(argv[1:]))
     args = _build_parser().parse_args(argv)
+    obslog.setup_logging(getattr(args, "verbose", 0))
+    previous_sink = None
+    sink_set = getattr(args, "log", None) is not None
+    if sink_set:
+        previous_sink = obslog.set_obslog_path(args.log)
+        obslog.emit("cli.start", command=args.command)
     handlers = {
         "list": lambda: _cmd_list(),
         "profile": lambda: _cmd_profile(args),
         "simulate": lambda: _cmd_simulate(args),
+        "timeline": lambda: _cmd_timeline(args),
         "train": lambda: _cmd_train(args),
         "breakdown": lambda: _cmd_breakdown(args),
         "tune": lambda: _cmd_tune(args),
         "cache": lambda: _cmd_cache(args),
         "lint": lambda: _cmd_lint(args),
     }
-    return handlers[args.command]()
+    try:
+        return handlers[args.command]()
+    finally:
+        if sink_set:
+            obslog.emit("cli.finish", command=args.command)
+            obslog.set_obslog_path(previous_sink)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -54,6 +54,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import obslog
 from repro.core.base import AtomicStrategy
 from repro.gpu.config import GPUConfig
 from repro.gpu.stats import SimResult
@@ -310,6 +311,7 @@ class DiskCache:
             result = SimResult.from_dict(payload["result"])
         except FileNotFoundError:
             self.stats.misses += 1
+            obslog.emit("cache.miss", key=key)
             return None
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.errors += 1
@@ -317,9 +319,12 @@ class DiskCache:
             if path.exists():
                 self._quarantine(path)
                 self.stats.quarantined += 1
+                obslog.emit("cache.quarantine", key=key)
+            obslog.emit("cache.miss", key=key, corrupt=True)
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(text)
+        obslog.emit("cache.hit", key=key)
         return result
 
     def store(self, key: str, result: SimResult) -> None:
@@ -348,6 +353,7 @@ class DiskCache:
             return
         self.stats.writes += 1
         self.stats.bytes_written += len(payload)
+        obslog.emit("cache.write", key=key)
 
     # ------------------------------------------------------------------ #
     # Maintenance

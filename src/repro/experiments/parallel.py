@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from pathlib import Path
 
+from repro import obslog
 from repro.experiments import diskcache, faults, runner
 from repro.experiments.manifest import RunManifest
 from repro.experiments.resilience import (
@@ -277,6 +278,12 @@ def run_matrix_parallel(
     ]
     results: dict[int, SimResult] = {}
 
+    obslog.emit("run.start", cells=len(specs), jobs=jobs,
+                workloads=sorted(set(workloads)),
+                strategies=list(strategies),
+                gpus=[runner._gpu_by_name(gpu).name for gpu in gpus],
+                cache_root=cache_root, resume=resume)
+
     manifest = None
     if cache is not None:
         manifest = RunManifest.for_run(cache.root / "manifests", keys)
@@ -289,6 +296,8 @@ def run_matrix_parallel(
                 if cached is not None:
                     results[index] = cached
                     report.cells[index].source = "manifest"
+                    obslog.emit("cell.skip", cell=specs[index].cell_id,
+                                reason="manifest-resume", key=key)
 
     def on_result(index: int, result: SimResult) -> None:
         spec = specs[index]
@@ -300,6 +309,9 @@ def run_matrix_parallel(
                 "gpu": spec.gpu.name,
                 "strategy": spec.strategy,
             })
+        obslog.emit("cell.finish", cell=spec.cell_id, key=keys[index],
+                    source=report.cells[index].source,
+                    total_cycles=result.total_cycles)
         faults.on_completed(spec.cell_id)
 
     pending = [i for i in range(len(specs)) if i not in results]
@@ -331,6 +343,12 @@ def run_matrix_parallel(
 
     if manifest is not None:
         manifest.discard()
+
+    obslog.emit("run.finish", cells=len(specs),
+                simulated=report.simulated, resumed=report.resumed,
+                fallbacks=report.fallbacks, retries=report.retries,
+                timeouts=report.timeouts, crashes=report.crashes,
+                pool_restarts=report.pool_restarts)
 
     cells = []
     for index, spec in enumerate(specs):

@@ -42,6 +42,8 @@ from concurrent.futures import CancelledError, FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro import obslog
+
 __all__ = [
     "CELL_TIMEOUT_ENV",
     "MAX_ATTEMPTS_ENV",
@@ -287,23 +289,32 @@ def run_resilient(
 
     def record(index: int, attempt: int, outcome: str, started: float,
                error: "str | None" = None) -> None:
+        duration = time.monotonic() - started
         report.cells[index].attempts.append(AttemptRecord(
             attempt=attempt, outcome=outcome,
-            duration=time.monotonic() - started, error=error,
+            duration=duration, error=error,
         ))
+        obslog.emit("cell.attempt", cell=report.cells[index].cell,
+                    attempt=attempt, outcome=outcome, duration=duration,
+                    error=error)
 
     def respawn() -> None:
         nonlocal pool
         _abandon_pool(pool)
         report.pool_restarts += 1
+        obslog.emit("pool.restart", restarts=report.pool_restarts)
         pool = pool_factory()
 
     def retry_or_fall_back(index: int, attempt: int) -> None:
         cell = report.cells[index]
         if attempt < policy.max_attempts:
-            due = time.monotonic() + policy.delay(cell.key, attempt + 1)
+            delay = policy.delay(cell.key, attempt + 1)
+            due = time.monotonic() + delay
             delayed.append((due, index, attempt + 1))
+            obslog.emit("cell.retry", cell=cell.cell,
+                        attempt=attempt + 1, backoff=delay)
             return
+        obslog.emit("cell.fallback", cell=cell.cell, attempt=attempt + 1)
         # Graceful degradation: one in-process attempt, outside the pool.
         started = time.monotonic()
         final = attempt + 1
@@ -327,6 +338,8 @@ def run_resilient(
                 queue.append((index, attempt))
             while queue:
                 index, attempt = queue.popleft()
+                obslog.emit("cell.start", cell=report.cells[index].cell,
+                            attempt=attempt)
                 future = submit(pool, index, attempt)
                 started = time.monotonic()
                 deadline = (None if policy.timeout is None

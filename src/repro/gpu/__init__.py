@@ -12,6 +12,7 @@ from repro.gpu.area import area_overhead_fraction, reduction_unit_transistors
 from repro.gpu.cache import CacheReport, gradient_buffer_bytes, l2_report
 from repro.gpu.engine import simulate_kernel
 from repro.gpu.stats import SimResult
+from repro.gpu.telemetry import PHASES, Telemetry
 from repro.gpu.warp import FULL_MASK, WARP_SIZE
 
 __all__ = [
@@ -21,7 +22,9 @@ __all__ = [
     "RTX3060_SIM",
     "RTX4090_SIM",
     "SIMULATED_GPUS",
+    "PHASES",
     "SimResult",
+    "Telemetry",
     "simulate_kernel",
     "area_overhead_fraction",
     "reduction_unit_transistors",

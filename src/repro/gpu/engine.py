@@ -45,6 +45,9 @@ class _EngineState(EngineView):
 
     def __init__(self, config: GPUConfig):
         self.config = config
+        # Optional Telemetry collector (None: every probe is one dead
+        # predicate test; no allocation, no recording).
+        self.telemetry = None
         self.now = 0.0
         self.ic_free = 0.0
         self.ic_step = 1.0 / config.interconnect_bw
@@ -116,6 +119,13 @@ class _EngineState(EngineView):
         heapq.heappush(rops, end)
         self.slot_free[request.slot] = start + service / request.addresses
         self.last_completion = max(self.last_completion, end)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.rop_intervals.append(
+                (request.slot % cfg.num_partitions, request.slot,
+                 request.rop_ops, start, end)
+            )
+            telemetry.ic_intervals.append((ic_start, self.ic_free))
         return end
 
 
@@ -140,6 +150,8 @@ def _route_request(
         # The queue entry frees when the ROP retires the transaction; that
         # coupling is what backs atomic pressure up into the SMs.
         state.lsu_hold(sm, completion)
+        if state.telemetry is not None:
+            state.telemetry.lsu_intervals.append((sm, admission, completion))
     stats.transactions += request.addresses
     stats.rop_ops += request.rop_ops
     stats.rop_busy_cycles += request.rop_ops * state.config.cost.atomic_service
@@ -150,6 +162,7 @@ def simulate_kernel(
     trace: KernelTrace,
     config: GPUConfig,
     strategy: AtomicStrategy,
+    telemetry=None,
 ) -> SimResult:
     """Simulate one gradient-computation kernel launch.
 
@@ -161,6 +174,12 @@ def simulate_kernel(
         Simulated GPU (:data:`~repro.gpu.config.RTX4090_SIM` or similar).
     strategy:
         Atomic-handling approach under test.
+    telemetry:
+        Optional :class:`~repro.gpu.telemetry.Telemetry` collector.  When
+        given, the engine records per-batch phase spans and resource busy
+        intervals into it, stamped with simulation time only; results are
+        bit-identical with telemetry on or off, and ``None`` (the
+        default) adds no work beyond dead predicate tests.
 
     Returns
     -------
@@ -174,8 +193,14 @@ def simulate_kernel(
     )
     stats.n_batches = trace.n_batches
     stats.lane_ops = trace.total_lane_ops
+    tel = telemetry
+    if tel is not None:
+        tel.attach(trace, config, strategy)
     if trace.n_batches == 0:
+        if tel is not None:
+            tel.finish(stats)
         return stats
+    state.telemetry = tel
 
     coalesced = trace.coalesced
     n_subcores = config.num_subcores
@@ -205,6 +230,7 @@ def simulate_kernel(
     group_slots = coalesced.slots.tolist()
     group_sizes = coalesced.sizes.tolist()
     sm_last_time = [0.0] * config.num_sms
+    warp_ids = trace.warp_id
 
     # Local accumulators (folded into stats after the loop).
     acc_compute = 0.0
@@ -268,6 +294,16 @@ def simulate_kernel(
         acc_compute += compute
         acc_issue += plan.issue_cycles
         acc_shuffles += plan.shuffle_ops
+        if tel is not None:
+            warp = int(warp_ids[index])
+            if compute:
+                tel.spans.append(
+                    (subcore, warp, index, "compute", t0, t0 + compute)
+                )
+            if plan.issue_cycles:
+                tel.spans.append(
+                    (subcore, warp, index, "issue", t0 + compute, t)
+                )
 
         # SM-local buffering (LAB / PHI): the sub-core streams lane values
         # into a shared per-SM unit and is blocked until it finishes
@@ -280,6 +316,14 @@ def simulate_kernel(
             if plan.local_absorb:
                 admission = state.lsu_admit(sm, t)
                 acc_lsu_stall += admission - t
+                if tel is not None:
+                    if admission > t:
+                        tel.spans.append(
+                            (subcore, warp, index, "lsu_wait", t, admission)
+                        )
+                    tel.lsu_intervals.append(
+                        (sm, admission, admission + cost.lsu_transit)
+                    )
                 t = admission
                 state.lsu_hold(sm, admission + cost.lsu_transit)
             start = max(t, state.buf_free[sm])
@@ -287,6 +331,10 @@ def simulate_kernel(
             state.buf_free[sm] = end
             acc_local_stall += end - t
             acc_buffer_ops += plan.sm_buffer_ops
+            if tel is not None:
+                tel.spans.append(
+                    (subcore, warp, index, "local_unit", t, end)
+                )
             t = end
         # PHI L1 tags: the queue entry is held until the L1 pipeline
         # finishes the per-lane lookups -- this is how the flood of atomic
@@ -295,14 +343,24 @@ def simulate_kernel(
             if plan.local_absorb:
                 admission = state.lsu_admit(sm, t)
                 acc_lsu_stall += admission - t
+                if tel is not None and admission > t:
+                    tel.spans.append(
+                        (subcore, warp, index, "lsu_wait", t, admission)
+                    )
                 t = admission
             start = max(t, state.l1_free[sm])
             end = start + plan.l1_tag_ops * cost.phi_tag_op
             state.l1_free[sm] = end
             if plan.local_absorb:
                 state.lsu_hold(sm, end)
+                if tel is not None:
+                    tel.lsu_intervals.append((sm, t, end))
             acc_local_stall += end - t
             acc_tag_ops += plan.l1_tag_ops
+            if tel is not None:
+                tel.spans.append(
+                    (subcore, warp, index, "local_unit", t, end)
+                )
             t = end
 
         # ARC-HW reduction unit: dedicated serial FPU per sub-core.  The
@@ -315,6 +373,8 @@ def simulate_kernel(
             state.ru_free[subcore] = ru_done
             acc_ru_busy += ru_done - ru_start
             acc_ru_values += plan.ru_values
+            if tel is not None:
+                tel.ru_intervals.append((subcore, ru_start, ru_done))
 
         for request in plan.requests:
             ready = ru_done if request.after_ru else t
@@ -329,6 +389,11 @@ def simulate_kernel(
                     )
                 else:
                     acc_lsu_stall += wait
+                    if tel is not None:
+                        tel.spans.append(
+                            (subcore, warp, index, "lsu_wait",
+                             ready, admission)
+                        )
                     t = max(t, admission)
 
         if t > sm_last_time[sm]:
@@ -374,4 +439,6 @@ def simulate_kernel(
 
     stats.total_cycles = state.last_completion
     stats.lsu_full_events = state.lsu_full_events
+    if tel is not None:
+        tel.finish(stats)
     return stats

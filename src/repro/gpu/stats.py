@@ -104,6 +104,28 @@ class SimResult:
         """Wall-clock duration at the GPU's shader clock."""
         return config.cycles_to_ms(self.total_cycles)
 
+    def interconnect_busy_cycles(self, config: GPUConfig) -> float:
+        """Cycles the SM<->L2 interconnect spent transferring.
+
+        Each transaction occupies the (serialized) link for
+        ``addresses / interconnect_bw`` cycles in the engine, and
+        ``transactions`` accumulates exactly those addresses, so this is
+        the link's total busy time -- no telemetry needed.
+        """
+        return self.transactions / config.interconnect_bw
+
+    def interconnect_utilization(self, config: GPUConfig) -> float:
+        """Fraction of the kernel the interconnect was busy.
+
+        The timeline summarizer derives the same number by integrating
+        the recorded busy intervals
+        (:func:`repro.profiling.timeline.summarize_timeline`); the two
+        agree because the engine serializes link occupancy.
+        """
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.interconnect_busy_cycles(config) / self.total_cycles
+
     def energy_joules(self, config: GPUConfig) -> float:
         """Activity-based energy estimate (see :class:`EnergyModel`)."""
         e = config.energy
@@ -146,11 +168,23 @@ class SimResult:
             raise ValueError(f"unknown SimResult fields: {sorted(unknown)}")
         return cls(**data)
 
-    def summary(self) -> str:
-        """One-line human-readable digest."""
-        return (
+    def summary(self, config: "GPUConfig | None" = None) -> str:
+        """One-line human-readable digest.
+
+        With a :class:`GPUConfig`, the digest also reports LSU-full
+        events, wall-clock runtime and interconnect utilization -- the
+        queueing numbers that need hardware parameters to interpret.
+        """
+        text = (
             f"{self.trace_name or 'kernel'} on {self.gpu} [{self.strategy}]: "
             f"{self.total_cycles:,.0f} cycles, "
             f"{self.rop_ops:,} ROP ops, "
             f"{self.stalls_per_instruction:.2f} stalls/instr"
         )
+        if config is not None:
+            text += (
+                f", {self.lsu_full_events:,} LSU-full events, "
+                f"{self.runtime_ms(config):.3f} ms, "
+                f"ic util {self.interconnect_utilization(config):.1%}"
+            )
+        return text

@@ -10,6 +10,14 @@ from repro.profiling.stalls import (
     atomic_stall_reduction,
     stall_report,
 )
+from repro.profiling.timeline import (
+    TimelineSummary,
+    capture_timeline,
+    load_timeline,
+    save_timeline,
+    summarize_timeline,
+    to_chrome_trace,
+)
 
 __all__ = [
     "PhaseBreakdown",
@@ -18,4 +26,10 @@ __all__ = [
     "StallReport",
     "atomic_stall_reduction",
     "stall_report",
+    "TimelineSummary",
+    "capture_timeline",
+    "load_timeline",
+    "save_timeline",
+    "summarize_timeline",
+    "to_chrome_trace",
 ]

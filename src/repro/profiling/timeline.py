@@ -1,0 +1,377 @@
+"""Timeline exporters and occupancy summaries for engine telemetry.
+
+The engine's :class:`~repro.gpu.telemetry.Telemetry` collector records raw
+spans and busy intervals; this module turns them into things people (and
+CI) can look at:
+
+* :func:`capture_timeline` -- run one simulation with a fresh collector;
+* :func:`to_chrome_trace` -- Chrome trace-event JSON that Perfetto
+  (https://ui.perfetto.dev) loads directly: one span track per active
+  sub-core plus counter tracks for LSU queue occupancy per SM, busy ROP
+  units per partition, interconnect busy state, and active reduction
+  units;
+* :func:`save_timeline` / :func:`load_timeline` -- compact ``.npz`` or
+  ``.json`` round-trip for programmatic analysis;
+* :func:`summarize_timeline` -- peak occupancies, per-resource saturation
+  fractions, and the hottest address slots (the Figure 8 story in three
+  numbers).
+
+All timestamps in the Chrome export are microseconds of simulated time
+(``cycles / (clock_ghz * 1e3)``) so Perfetto's time axis reads as
+wall-clock *on the simulated GPU* -- a pure function of simulation state,
+never of the host clock.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.telemetry import PHASES, Telemetry
+
+__all__ = [
+    "TimelineSummary",
+    "capture_timeline",
+    "load_timeline",
+    "save_timeline",
+    "summarize_timeline",
+    "to_chrome_trace",
+]
+
+#: Chrome-trace process ids, one per track family.
+_PID_SUBCORES = 0
+_PID_LSU = 1
+_PID_ROP = 2
+_PID_INTERCONNECT = 3
+_PID_RU = 4
+
+
+def capture_timeline(trace, config, strategy) -> Telemetry:
+    """Simulate ``trace`` with a fresh collector and return it.
+
+    Bypasses every result cache on purpose: a timeline is a property of
+    *this* simulation run, and the engine guarantees the attached
+    collector does not change the result.
+    """
+    from repro.gpu.engine import simulate_kernel
+
+    telemetry = Telemetry()
+    simulate_kernel(trace, config, strategy, telemetry=telemetry)
+    return telemetry
+
+
+# --------------------------------------------------------------------- #
+# Occupancy math (shared by counters and summaries)
+# --------------------------------------------------------------------- #
+
+def _occupancy_steps(intervals) -> "list[tuple[float, int]]":
+    """Turn ``(start, end)`` busy intervals into a ``(t, level)`` step fn.
+
+    Ends sort before starts at equal timestamps, so a queue entry freed
+    exactly when another is admitted never reads as exceeding capacity.
+    """
+    deltas = []
+    for start, end in intervals:
+        deltas.append((start, +1))
+        deltas.append((end, -1))
+    deltas.sort()
+    steps = []
+    level = 0
+    for t, delta in deltas:
+        level += delta
+        if steps and steps[-1][0] == t:
+            steps[-1] = (t, level)
+        else:
+            steps.append((t, level))
+    return steps
+
+
+def _peak(steps) -> int:
+    return max((level for _, level in steps), default=0)
+
+
+def _time_at_or_above(steps, level, horizon) -> float:
+    """Total time the step function sits at >= ``level`` within horizon."""
+    total = 0.0
+    for i, (t, value) in enumerate(steps):
+        if value < level:
+            continue
+        t_next = steps[i + 1][0] if i + 1 < len(steps) else horizon
+        total += max(0.0, min(t_next, horizon) - t)
+    return total
+
+
+# --------------------------------------------------------------------- #
+# Chrome trace-event export
+# --------------------------------------------------------------------- #
+
+def to_chrome_trace(telemetry: Telemetry) -> dict:
+    """Export a collector as a Chrome trace-event JSON object.
+
+    The returned dict serializes directly with ``json.dump`` and loads in
+    Perfetto / ``chrome://tracing``.  Events are globally sorted by
+    timestamp, with span ends ordered before same-timestamp begins so
+    back-to-back phases nest correctly.
+    """
+    meta = telemetry.meta
+    clock_ghz = float(meta.get("clock_ghz", 1.0))
+    # Simulated shader cycles -> microseconds on the simulated GPU.
+    to_us = 1.0 / (clock_ghz * 1e3)
+
+    events = []
+
+    def emit_process(pid, name):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+
+    def emit_thread(pid, tid, name):
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": name}})
+
+    timed = []
+
+    # Span tracks: one thread per active sub-core.
+    active_subcores = sorted({span[0] for span in telemetry.spans})
+    emit_process(_PID_SUBCORES, "sub-cores")
+    for subcore in active_subcores:
+        emit_thread(_PID_SUBCORES, subcore, f"sub-core {subcore}")
+    for subcore, warp, batch, phase, start, end in telemetry.spans:
+        common = {"name": phase, "cat": "subcore",
+                  "pid": _PID_SUBCORES, "tid": subcore}
+        timed.append({**common, "ph": "B", "ts": start * to_us,
+                      "args": {"warp": warp, "batch": batch}})
+        timed.append({**common, "ph": "E", "ts": end * to_us})
+
+    def emit_counter(pid, name, steps, value_key):
+        for t, level in steps:
+            timed.append({"name": name, "ph": "C", "pid": pid, "tid": 0,
+                          "ts": t * to_us, "args": {value_key: level}})
+
+    # LSU queue occupancy: one counter track per SM that saw traffic.
+    emit_process(_PID_LSU, "LSU queues")
+    by_sm: dict[int, list] = {}
+    for sm, start, end in telemetry.lsu_intervals:
+        by_sm.setdefault(sm, []).append((start, end))
+    for sm in sorted(by_sm):
+        emit_counter(_PID_LSU, f"lsu_queue[sm{sm}]",
+                     _occupancy_steps(by_sm[sm]), "entries")
+
+    # Busy ROP units: one counter track per partition that saw traffic.
+    emit_process(_PID_ROP, "ROP partitions")
+    by_partition: dict[int, list] = {}
+    for partition, _slot, _ops, start, end in telemetry.rop_intervals:
+        by_partition.setdefault(partition, []).append((start, end))
+    for partition in sorted(by_partition):
+        emit_counter(_PID_ROP, f"rop_busy[p{partition}]",
+                     _occupancy_steps(by_partition[partition]), "units")
+
+    # Interconnect: serialized, so occupancy is a 0/1 busy flag.
+    emit_process(_PID_INTERCONNECT, "interconnect")
+    if telemetry.ic_intervals:
+        emit_counter(_PID_INTERCONNECT, "interconnect_busy",
+                     _occupancy_steps(telemetry.ic_intervals), "busy")
+
+    # Reduction units: how many sub-core FPUs are reducing right now.
+    emit_process(_PID_RU, "reduction units")
+    if telemetry.ru_intervals:
+        emit_counter(_PID_RU, "active_reduction_units",
+                     _occupancy_steps(
+                         [(s, e) for _, s, e in telemetry.ru_intervals]),
+                     "units")
+
+    # Global order: by timestamp, ends before begins on ties (ph "E"
+    # sorts before "B" is false alphabetically, so map explicitly).
+    order = {"E": 0, "C": 1, "B": 2}
+    timed.sort(key=lambda ev: (ev["ts"], order[ev["ph"]]))
+
+    return {
+        "traceEvents": events + timed,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Compact persistence
+# --------------------------------------------------------------------- #
+
+def save_timeline(telemetry: Telemetry, path) -> None:
+    """Write a collector to ``path`` (``.npz`` if so named, else JSON)."""
+    path = str(path)
+    if path.endswith(".npz"):
+        phase_code = {name: i for i, name in enumerate(PHASES)}
+        spans = np.array(
+            [[sc, warp, batch, phase_code[phase], start, end]
+             for sc, warp, batch, phase, start, end in telemetry.spans],
+            dtype=np.float64,
+        ).reshape(-1, 6)
+        np.savez_compressed(
+            path,
+            meta=np.frombuffer(
+                json.dumps(telemetry.meta).encode(), dtype=np.uint8
+            ),
+            spans=spans,
+            lsu=np.array(telemetry.lsu_intervals,
+                         dtype=np.float64).reshape(-1, 3),
+            rop=np.array(telemetry.rop_intervals,
+                         dtype=np.float64).reshape(-1, 5),
+            ic=np.array(telemetry.ic_intervals,
+                        dtype=np.float64).reshape(-1, 2),
+            ru=np.array(telemetry.ru_intervals,
+                        dtype=np.float64).reshape(-1, 3),
+        )
+    else:
+        with open(path, "w") as handle:
+            json.dump(telemetry.as_dict(), handle)
+
+
+def load_timeline(path) -> Telemetry:
+    """Read a collector back from :func:`save_timeline` output."""
+    path = str(path)
+    if path.endswith(".npz"):
+        with np.load(path) as data:
+            telemetry = Telemetry()
+            telemetry.meta = json.loads(bytes(data["meta"]).decode())
+            telemetry.spans = [
+                (int(sc), int(warp), int(batch), PHASES[int(code)],
+                 float(start), float(end))
+                for sc, warp, batch, code, start, end in data["spans"]
+            ]
+            telemetry.lsu_intervals = [
+                (int(sm), float(start), float(end))
+                for sm, start, end in data["lsu"]
+            ]
+            telemetry.rop_intervals = [
+                (int(p), int(slot), float(ops), float(start), float(end))
+                for p, slot, ops, start, end in data["rop"]
+            ]
+            telemetry.ic_intervals = [
+                (float(start), float(end)) for start, end in data["ic"]
+            ]
+            telemetry.ru_intervals = [
+                (int(sc), float(start), float(end))
+                for sc, start, end in data["ru"]
+            ]
+            return telemetry
+    with open(path) as handle:
+        return Telemetry.from_dict(json.load(handle))
+
+
+# --------------------------------------------------------------------- #
+# Summary
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class TimelineSummary:
+    """What the timeline says about where simulated time went."""
+
+    trace_name: str
+    gpu: str
+    strategy: str
+    total_cycles: float
+    lsu_full_events: int
+    #: Most entries simultaneously held in any SM's LSU queue.  Can
+    #: exceed ``lsu_queue_depth``: the engine admits entries lazily in
+    #: sub-core event order rather than globally chronologically, so the
+    #: honest reconstruction of its admissions on one shared time axis
+    #: may transiently over-subscribe the queue.  At-or-above depth
+    #: reads as saturated either way.
+    peak_lsu_occupancy: int
+    lsu_queue_depth: int
+    #: Most ROP units simultaneously busy in any one partition.
+    peak_rop_busy: int
+    rops_per_partition: int
+    #: Fraction of kernel time each resource spent saturated
+    #: (LSU: some SM queue full; ROP: some partition fully busy;
+    #: interconnect: link busy).
+    saturated_frac: dict = field(default_factory=dict)
+    #: Fraction of kernel time the SM<->L2 link was transferring.
+    interconnect_utilization: float = 0.0
+    #: ``(slot, busy_cycles, rop_ops)`` hottest address slots, descending.
+    hot_slots: list = field(default_factory=list)
+
+    @property
+    def lsu_saturated(self) -> bool:
+        """Did any SM's LSU queue ever fill to its depth?"""
+        return self.peak_lsu_occupancy >= self.lsu_queue_depth
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_name": self.trace_name,
+            "gpu": self.gpu,
+            "strategy": self.strategy,
+            "total_cycles": self.total_cycles,
+            "lsu_full_events": self.lsu_full_events,
+            "peak_lsu_occupancy": self.peak_lsu_occupancy,
+            "lsu_queue_depth": self.lsu_queue_depth,
+            "peak_rop_busy": self.peak_rop_busy,
+            "rops_per_partition": self.rops_per_partition,
+            "saturated_frac": dict(self.saturated_frac),
+            "interconnect_utilization": self.interconnect_utilization,
+            "hot_slots": [list(slot) for slot in self.hot_slots],
+            "lsu_saturated": self.lsu_saturated,
+        }
+
+
+def summarize_timeline(telemetry: Telemetry, top_k: int = 5,
+                       ) -> TimelineSummary:
+    """Reduce a timeline to peak occupancies and saturation fractions."""
+    meta = telemetry.meta
+    horizon = float(meta.get("total_cycles", 0.0)) or max(
+        (end for _, _, _, _, _, end in telemetry.spans), default=0.0
+    )
+    depth = int(meta.get("lsu_queue_depth", 0))
+    rops = int(meta.get("rops_per_partition", 0))
+
+    by_sm: dict[int, list] = {}
+    for sm, start, end in telemetry.lsu_intervals:
+        by_sm.setdefault(sm, []).append((start, end))
+    lsu_steps = [_occupancy_steps(ivals) for ivals in by_sm.values()]
+    peak_lsu = max((_peak(steps) for steps in lsu_steps), default=0)
+    lsu_full_time = max(
+        (_time_at_or_above(steps, depth, horizon) for steps in lsu_steps),
+        default=0.0,
+    ) if depth else 0.0
+
+    by_partition: dict[int, list] = {}
+    slot_busy: dict[int, float] = {}
+    slot_ops: dict[int, float] = {}
+    for partition, slot, ops, start, end in telemetry.rop_intervals:
+        by_partition.setdefault(partition, []).append((start, end))
+        slot_busy[slot] = slot_busy.get(slot, 0.0) + (end - start)
+        slot_ops[slot] = slot_ops.get(slot, 0.0) + ops
+    rop_steps = [_occupancy_steps(ivals) for ivals in by_partition.values()]
+    peak_rop = max((_peak(steps) for steps in rop_steps), default=0)
+    rop_full_time = max(
+        (_time_at_or_above(steps, rops, horizon) for steps in rop_steps),
+        default=0.0,
+    ) if rops else 0.0
+
+    ic_busy = sum(end - start for start, end in telemetry.ic_intervals)
+
+    hot = sorted(
+        ((slot, busy, slot_ops[slot]) for slot, busy in slot_busy.items()),
+        key=lambda item: (-item[1], item[0]),
+    )[:top_k]
+
+    frac = (lambda t: t / horizon if horizon else 0.0)
+    return TimelineSummary(
+        trace_name=str(meta.get("trace_name", "?")),
+        gpu=str(meta.get("gpu", "?")),
+        strategy=str(meta.get("strategy", "?")),
+        total_cycles=horizon,
+        lsu_full_events=int(meta.get("lsu_full_events", 0)),
+        peak_lsu_occupancy=peak_lsu,
+        lsu_queue_depth=depth,
+        peak_rop_busy=peak_rop,
+        rops_per_partition=rops,
+        saturated_frac={
+            "lsu": frac(lsu_full_time),
+            "rop": frac(rop_full_time),
+            "interconnect": frac(ic_busy),
+        },
+        interconnect_utilization=frac(ic_busy),
+        hot_slots=hot,
+    )

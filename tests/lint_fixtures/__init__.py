@@ -104,6 +104,30 @@ _ARC002 = [
             "    return [rng.random() for _ in sorted(set(items))]\n"
         ),
     }),
+    # Telemetry collectors live inside the engine packages, so the
+    # determinism rule must still catch one that stamps records off the
+    # host clock ...
+    FixtureCase("ARC002", "positive", "wall-clock-telemetry", {
+        "gpu/probe.py": (
+            "import time\n"
+            "class Probe:\n"
+            "    def __init__(self):\n"
+            "        self.spans = []\n"
+            "    def record(self, subcore, phase):\n"
+            "        self.spans.append((subcore, phase, time.time()))\n"
+        ),
+    }, expect="wall-clock"),
+    # ... while staying silent for one stamped purely in simulated
+    # cycles handed over by the engine (the shipped Telemetry design).
+    FixtureCase("ARC002", "negative", "sim-time-telemetry", {
+        "gpu/probe.py": (
+            "class Probe:\n"
+            "    def __init__(self):\n"
+            "        self.spans = []\n"
+            "    def record(self, subcore, phase, start, end):\n"
+            "        self.spans.append((subcore, phase, start, end))\n"
+        ),
+    }),
 ]
 
 

@@ -125,3 +125,168 @@ def test_tune_rejects_swb_on_divergent_kernel(monkeypatch, capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+# --------------------------------------------------------------------- #
+# Observability surfaces (timelines, Perfetto export, JSON, run logs)
+# --------------------------------------------------------------------- #
+
+
+def test_simulate_json_format(small_registry, capsys):
+    import json
+
+    assert main([
+        "simulate", "-w", "3D-LE", "-g", "3060-Sim",
+        "-s", "baseline", "ARC-HW", "--format", "json",
+    ]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["workload"] == "3D-LE"
+    assert doc["gpu"] == "3060-Sim"
+    assert {result["strategy"] for result in doc["results"]} \
+        == {"baseline", "ARC-HW"}
+    assert all(result["total_cycles"] > 0 for result in doc["results"])
+    assert doc["skipped"] == []
+
+
+def test_simulate_json_reports_skipped_strategies(monkeypatch, capsys):
+    import json
+
+    from repro.workloads import SphereWorkload
+
+    import repro.cli as cli
+    monkeypatch.setattr(cli, "load_workload", lambda key: SphereWorkload(
+        key=key, dataset="d", description="x", n_spheres=60,
+        base_radius=0.16, width=64, height=64, seed=2,
+    ))
+    assert main([
+        "simulate", "-w", "PS-SS", "-s", "baseline", "ARC-SW-B-8",
+        "--format", "json",
+    ]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["skipped"] == ["ARC-SW-B-8"]
+    assert {result["strategy"] for result in doc["results"]} == {"baseline"}
+
+
+def test_simulate_writes_timeline_per_strategy(small_registry, capsys,
+                                               tmp_path):
+    from repro.profiling import load_timeline, summarize_timeline
+
+    base = tmp_path / "tl.json"
+    assert main([
+        "simulate", "-w", "3D-LE", "-s", "baseline", "ARC-HW",
+        "--timeline", str(base), "-v",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "timeline written" in out
+    for name in ("baseline", "ARC-HW"):
+        path = tmp_path / f"tl.{name}.json"
+        assert path.exists(), name
+        summary = summarize_timeline(load_timeline(path))
+        assert summary.strategy == name
+        assert summary.total_cycles > 0
+
+
+def test_simulate_single_strategy_timeline_npz(small_registry, capsys,
+                                               tmp_path):
+    from repro.profiling import load_timeline
+
+    base = tmp_path / "one.npz"
+    assert main([
+        "simulate", "-w", "3D-LE", "-s", "baseline",
+        "--timeline", str(base),
+    ]) == 0
+    assert base.exists()
+    assert load_timeline(base).meta["strategy"] == "baseline"
+
+
+def test_profile_json_format(small_registry, capsys):
+    import json
+
+    assert main([
+        "profile", "-w", "3D-LE", "-g", "4090-Sim",
+        "--strategy", "ARC-HW", "--format", "json",
+    ]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["profile"]["n_batches"] > 0
+    assert 0.0 <= doc["profile"]["locality"] <= 1.0
+    report = doc["stall_report"]
+    assert report["strategy"] == "ARC-HW"
+    assert report["gpu"] == "4090-Sim"
+    assert sum(report["breakdown"].values()) == pytest.approx(1.0)
+
+
+def test_profile_perfetto_on_histogram_workload(monkeypatch, capsys,
+                                                tmp_path):
+    """The ISSUE acceptance path: a Perfetto export of the histogram
+    workload carries at least one span track per active sub-core plus
+    the LSU / ROP / interconnect counter tracks."""
+    import json
+
+    from repro.workloads import HistogramWorkload
+
+    import repro.cli as cli
+    monkeypatch.setattr(cli, "load_workload", lambda key: HistogramWorkload(
+        n_elements=4096, n_bins=64, smoothness=4, seed=7,
+    ))
+    out_path = tmp_path / "hist.trace.json"
+    assert main([
+        "profile", "-w", "3D-LE", "--perfetto", str(out_path),
+    ]) == 0
+    assert "perfetto trace written" in capsys.readouterr().out
+
+    doc = json.loads(out_path.read_text())
+    events = doc["traceEvents"]
+    begins = [ev for ev in events if ev["ph"] == "B"]
+    assert begins
+    span_tracks = {ev["tid"] for ev in begins}
+    assert len(span_tracks) >= 1
+    counter_names = {ev["name"] for ev in events if ev["ph"] == "C"}
+    assert any(name.startswith("lsu_queue[sm") for name in counter_names)
+    assert any(name.startswith("rop_busy[p") for name in counter_names)
+    assert "interconnect_busy" in counter_names
+
+
+def test_timeline_command(small_registry, capsys, tmp_path):
+    import json
+
+    base = tmp_path / "tl.json"
+    assert main([
+        "simulate", "-w", "3D-LE", "-s", "baseline",
+        "--timeline", str(base),
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["timeline", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "peak LSU occupancy" in out
+    assert "interconnect util" in out
+
+    assert main(["timeline", str(base), "--format", "json", "--top", "2"]) \
+        == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["strategy"] == "baseline"
+    assert len(doc["hot_slots"]) <= 2
+    assert isinstance(doc["lsu_saturated"], bool)
+
+
+def test_timeline_command_rejects_unreadable_file(tmp_path, capsys):
+    assert main(["timeline", str(tmp_path / "missing.json")]) == 2
+    assert "cannot read timeline" in capsys.readouterr().err
+
+
+def test_cli_log_flag_writes_obslog(small_registry, capsys, tmp_path):
+    import os
+
+    from repro.obslog import OBSLOG_ENV, read_events
+
+    log = tmp_path / "run.jsonl"
+    assert main([
+        "simulate", "-w", "3D-LE", "-s", "baseline", "--log", str(log),
+    ]) == 0
+    names = [event["event"] for event in read_events(log)]
+    assert names[0] == "cli.start"
+    assert names[-1] == "cli.finish"
+    # Cache traffic from the run lands in the same stream.
+    assert any(name.startswith("cache.") for name in names)
+    # The sink does not leak past main().
+    assert os.environ.get(OBSLOG_ENV) is None

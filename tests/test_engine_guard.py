@@ -1,0 +1,74 @@
+"""Engine regression guard: every cell matches the recorded seed fixture.
+
+``tests/data/engine_guard.json`` was recorded from the engine *before*
+telemetry instrumentation landed.  These tests re-simulate the full
+fixture matrix -- four synthetic traces x both GPUs x every report
+strategy -- and require bit-identical ``SimResult.to_dict()`` output,
+both with ``telemetry=None`` (the hot path must be untouched) and with a
+live :class:`~repro.gpu.telemetry.Telemetry` collector attached (probes
+must observe, never perturb).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import make_strategy
+from repro.gpu import SIMULATED_GPUS, Telemetry, simulate_kernel
+from repro.trace import (
+    coalesced_trace,
+    hotspot_trace,
+    mixed_locality_trace,
+    scattered_trace,
+)
+
+FIXTURE = Path(__file__).parent / "data" / "engine_guard.json"
+
+#: Exact trace constructions the fixture was recorded against.
+TRACES = {
+    "coalesced": lambda: coalesced_trace(
+        n_batches=160, n_slots=64, num_params=6, seed=11),
+    "mixed": lambda: mixed_locality_trace(
+        n_batches=160, n_slots=96, num_params=3, seed=12),
+    "scattered": lambda: scattered_trace(
+        n_batches=120, n_slots=512, num_params=1, seed=13),
+    "hotspot": lambda: hotspot_trace(n_batches=96, num_params=8, seed=14),
+}
+
+STRATEGIES = ["baseline", "ARC-HW", "ARC-SW-B-8", "ARC-SW-S-8",
+              "CCCL", "LAB", "LAB-ideal", "PHI"]
+
+
+def load_fixture() -> dict:
+    recorded = json.loads(FIXTURE.read_text())
+    assert recorded["format"] == 1
+    return recorded["results"]
+
+
+@pytest.mark.parametrize(
+    "with_telemetry", [False, True], ids=["telemetry-off", "telemetry-on"]
+)
+def test_engine_matches_recorded_fixture(with_telemetry):
+    recorded = load_fixture()
+    seen = set()
+    for tname, factory in TRACES.items():
+        trace = factory()
+        for gpu in SIMULATED_GPUS.values():
+            for sname in STRATEGIES:
+                if "SW-B" in sname and not trace.bfly_eligible:
+                    continue
+                key = f"{tname}|{gpu.name}|{sname}"
+                seen.add(key)
+                telemetry = Telemetry() if with_telemetry else None
+                result = simulate_kernel(
+                    trace, gpu, make_strategy(sname), telemetry=telemetry
+                )
+                # Round-trip through JSON exactly as the fixture was
+                # written, so "bit-identical" means identical bytes on
+                # disk, not merely approximate floats.
+                produced = json.loads(json.dumps(result.to_dict()))
+                assert produced == recorded[key], key
+    assert seen == set(recorded), "fixture matrix drifted"

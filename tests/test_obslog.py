@@ -1,0 +1,239 @@
+"""Structured run logging: JSONL round-trips and the event contract.
+
+Unit tests pin the :mod:`repro.obslog` primitives (env-carried sink,
+append-only JSONL, torn-line tolerance); the integration tests drive
+:func:`~repro.experiments.parallel.run_matrix_parallel` -- including
+under the fault-injection harness -- and assert the promised event
+stream: every cell's start and finish, its cache disposition, retries,
+and resume decisions, deterministic across reruns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obslog
+from repro.experiments import diskcache, faults, runner
+from repro.experiments.faults import FaultPlan, FaultSpec
+from repro.experiments.parallel import run_matrix_parallel
+from repro.experiments.resilience import RetryPolicy, RunReport
+from repro.experiments.runner import clear_caches
+from repro.trace import coalesced_trace
+
+WORKLOADS = ["P1", "P2"]
+STRATEGIES = ["baseline", "ARC-HW"]
+GPUS = ["3060-Sim"]
+CELL_IDS = {
+    f"{workload}|{gpu}|{strategy}"
+    for workload in WORKLOADS for gpu in GPUS for strategy in STRATEGIES
+}
+
+#: Fields whose values vary run to run (clocks, pids, tmp dirs) -- the
+#: deterministic contract covers everything else.
+VOLATILE_FIELDS = ("ts", "pid", "duration", "backoff", "cache_root")
+
+
+class FakeWorkload:
+    """Deterministic synthetic stand-in for a Table 2 workload.
+
+    Each key gets its own seed: the disk cache is keyed on trace
+    *content*, so identical traces under different names would share
+    entries and muddle the per-cell cache bookkeeping under test.
+    """
+
+    def __init__(self, key, seed):
+        self.key = key
+        self.seed = seed
+
+    def capture_trace(self):
+        return coalesced_trace(n_batches=200, num_params=4, seed=self.seed,
+                               name=self.key)
+
+
+@pytest.fixture
+def fake_registry(monkeypatch):
+    fakes = {key: FakeWorkload(key, seed=11 + index)
+             for index, key in enumerate(WORKLOADS)}
+    monkeypatch.setattr(runner, "load_workload", lambda key: fakes[key])
+    return fakes
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_plan():
+    faults.configure(None)
+    yield
+    faults.configure(None)
+
+
+@pytest.fixture
+def obslog_sink(tmp_path):
+    """Point the run log at a scratch file; always restore the old sink."""
+    path = tmp_path / "events.jsonl"
+    previous = obslog.set_obslog_path(path)
+    yield path
+    obslog.set_obslog_path(previous)
+
+
+def quick_policy():
+    return RetryPolicy(max_attempts=3, timeout=None,
+                       backoff_base=0.01, backoff_max=0.05)
+
+
+def events_by_name(events):
+    grouped: dict = {}
+    for event in events:
+        grouped.setdefault(event["event"], []).append(event)
+    return grouped
+
+
+# --------------------------------------------------------------------- #
+# Primitives
+# --------------------------------------------------------------------- #
+
+def test_emit_is_a_no_op_without_a_sink(tmp_path, monkeypatch):
+    monkeypatch.delenv(obslog.OBSLOG_ENV, raising=False)
+    assert obslog.obslog_path() is None
+    obslog.emit("orphan", detail=1)  # must not raise or create files
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_emit_and_read_round_trip(obslog_sink):
+    obslog.emit("alpha", n=1, name="first")
+    obslog.emit("beta", ratio=0.5, items=["a", "b"])
+    events = obslog.read_events(obslog_sink)
+    assert [event["event"] for event in events] == ["alpha", "beta"]
+    assert events[0]["n"] == 1 and events[0]["name"] == "first"
+    assert events[1]["items"] == ["a", "b"]
+    for event in events:
+        assert event["ts"] > 0
+        assert event["pid"] == os.getpid()
+
+
+def test_set_obslog_path_carries_through_the_environment(tmp_path):
+    path = tmp_path / "carried.jsonl"
+    previous = obslog.set_obslog_path(path)
+    try:
+        assert os.environ[obslog.OBSLOG_ENV] == str(path)
+        assert obslog.obslog_path() == str(path)
+    finally:
+        obslog.set_obslog_path(previous)
+    assert obslog.obslog_path() is None
+
+
+def test_read_events_skips_blank_and_torn_lines(tmp_path):
+    path = tmp_path / "torn.jsonl"
+    good = json.dumps({"event": "ok", "ts": 1.0, "pid": 1})
+    path.write_text(f"{good}\n\n{{\"event\": \"torn\", \"ts\":\n{good}\n")
+    events = obslog.read_events(path)
+    assert [event["event"] for event in events] == ["ok", "ok"]
+
+
+def test_read_events_on_missing_file(tmp_path):
+    assert obslog.read_events(tmp_path / "absent.jsonl") == []
+
+
+# --------------------------------------------------------------------- #
+# Run-scoped event stream
+# --------------------------------------------------------------------- #
+
+def test_parallel_run_logs_every_cell(fake_registry, obslog_sink):
+    """A clean parallel run journals the run envelope, every cell's
+    start/attempt/finish, and each cell's cache disposition."""
+    report = RunReport()
+    run_matrix_parallel(WORKLOADS, STRATEGIES, GPUS, jobs=2,
+                        policy=quick_policy(), report=report)
+    grouped = events_by_name(obslog.read_events(obslog_sink))
+
+    assert len(grouped["run.start"]) == 1
+    start = grouped["run.start"][0]
+    assert start["cells"] == len(CELL_IDS) and start["jobs"] == 2
+    assert set(start["workloads"]) == set(WORKLOADS)
+
+    for name in ("cell.start", "cell.attempt", "cell.finish"):
+        assert {event["cell"] for event in grouped[name]} == CELL_IDS, name
+    assert all(event["outcome"] == "ok"
+               for event in grouped["cell.attempt"])
+
+    # Cold cache: every cell misses once and is written back once.  The
+    # keyed writes let the log answer "where did this result come from".
+    cell_keys = {event["key"] for event in grouped["cell.finish"]}
+    assert len(cell_keys) == len(CELL_IDS)
+    assert {event["key"] for event in grouped["cache.miss"]} == cell_keys
+    assert {event["key"] for event in grouped["cache.write"]} == cell_keys
+
+    finish = grouped["run.finish"][0]
+    assert finish["cells"] == len(CELL_IDS)
+    assert finish["simulated"] == len(CELL_IDS)
+    assert finish["resumed"] == 0
+
+
+def test_resumed_run_logs_skip_decisions(fake_registry, obslog_sink):
+    """Interrupt a run, then resume: the second log must record one
+    `cell.skip` (manifest-resume) per already-finished cell."""
+    faults.configure(FaultPlan((
+        FaultSpec(cell="P1|3060-Sim|baseline", kind="interrupt"),
+    )))
+    with pytest.raises(KeyboardInterrupt):
+        run_matrix_parallel(WORKLOADS, STRATEGIES, GPUS, jobs=2,
+                            policy=quick_policy(), report=RunReport())
+    first = events_by_name(obslog.read_events(obslog_sink))
+    completed = {event["cell"] for event in first.get("cell.finish", ())}
+    assert completed, "the interrupting cell finishes before raising"
+
+    faults.configure(None)
+    clear_caches()
+    obslog_sink.unlink()
+    report = RunReport()
+    run_matrix_parallel(WORKLOADS, STRATEGIES, GPUS, jobs=2,
+                        policy=quick_policy(), report=report)
+    grouped = events_by_name(obslog.read_events(obslog_sink))
+    skips = grouped["cell.skip"]
+    assert {event["cell"] for event in skips} == completed
+    assert all(event["reason"] == "manifest-resume" for event in skips)
+    assert grouped["run.finish"][0]["resumed"] == len(completed)
+    assert {event["cell"] for event in grouped["cell.finish"]} \
+        == CELL_IDS - completed
+
+
+def stripped(events):
+    """Multiset of events with run-varying fields removed."""
+    cleaned = []
+    for event in events:
+        cleaned.append(json.dumps(
+            {key: value for key, value in event.items()
+             if key not in VOLATILE_FIELDS},
+            sort_keys=True,
+        ))
+    return sorted(cleaned)
+
+
+def test_event_set_is_deterministic_under_fault_injection(
+        fake_registry, obslog_sink, tmp_path):
+    """Two cold runs under the same PR 3 fault plan (one transient error,
+    retried in-pool) produce the same event multiset once clocks and
+    pids are stripped."""
+    plan = FaultPlan((
+        FaultSpec(cell="P1|3060-Sim|baseline", kind="error", times=1),
+    ))
+    streams = []
+    for attempt in range(2):
+        faults.configure(plan)
+        clear_caches()
+        obslog_sink.write_text("")
+        with diskcache.isolated(tmp_path / f"cache-{attempt}"):
+            run_matrix_parallel(WORKLOADS, STRATEGIES, GPUS, jobs=2,
+                                policy=quick_policy(), report=RunReport())
+        streams.append(stripped(obslog.read_events(obslog_sink)))
+    assert streams[0] == streams[1]
+
+    grouped = events_by_name(
+        [json.loads(line) for line in streams[0]]
+    )
+    assert {event["cell"] for event in grouped["cell.retry"]} \
+        == {"P1|3060-Sim|baseline"}
+    outcomes = [event["outcome"] for event in grouped["cell.attempt"]
+                if event["cell"] == "P1|3060-Sim|baseline"]
+    assert sorted(outcomes) == ["error", "ok"]

@@ -1,0 +1,133 @@
+"""Telemetry collection: opt-in, deterministic, and result-neutral.
+
+The engine contract under test (ISSUE tentpole): attaching a
+:class:`~repro.gpu.telemetry.Telemetry` collector changes *nothing*
+about the simulation -- event order, stall accounting, every
+``SimResult`` field -- across all strategies and both GPU configs, and
+everything it records is stamped in simulated shader cycles bounded by
+the kernel's duration.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import make_strategy
+from repro.gpu import PHASES, SIMULATED_GPUS, Telemetry, simulate_kernel
+from repro.trace import coalesced_trace, hotspot_trace, scattered_trace
+
+ALL_STRATEGIES = ["baseline", "ARC-HW", "ARC-SW-B-8", "ARC-SW-S-8",
+                  "CCCL", "LAB", "LAB-ideal", "PHI"]
+
+
+def small_traces():
+    """One trace per locality regime, sized for sub-second simulation."""
+    return [
+        coalesced_trace(n_batches=64, n_slots=64, num_params=4, seed=3),
+        scattered_trace(n_batches=48, n_slots=256, num_params=2, seed=4),
+        hotspot_trace(n_batches=40, num_params=4, seed=5),
+    ]
+
+
+@pytest.mark.parametrize("strategy_name", ALL_STRATEGIES)
+def test_results_bit_identical_with_telemetry_on(strategy_name):
+    """Every strategy x both GPUs: telemetry on == telemetry off."""
+    for trace in small_traces():
+        if "SW-B" in strategy_name and not trace.bfly_eligible:
+            continue
+        for gpu in SIMULATED_GPUS.values():
+            off = simulate_kernel(trace, gpu, make_strategy(strategy_name))
+            on = simulate_kernel(
+                trace, gpu, make_strategy(strategy_name),
+                telemetry=Telemetry(),
+            )
+            assert (
+                json.dumps(off.to_dict(), sort_keys=True)
+                == json.dumps(on.to_dict(), sort_keys=True)
+            ), f"{trace.name} on {gpu.name}"
+
+
+def test_recording_is_deterministic():
+    """Two instrumented runs of the same cell record identical payloads."""
+    trace = hotspot_trace(n_batches=40, num_params=4, seed=5)
+    gpu = SIMULATED_GPUS["3060-Sim"]
+    payloads = []
+    for _ in range(2):
+        telemetry = Telemetry()
+        simulate_kernel(trace, gpu, make_strategy("baseline"),
+                        telemetry=telemetry)
+        payloads.append(json.dumps(telemetry.as_dict(), sort_keys=True))
+    assert payloads[0] == payloads[1]
+
+
+def test_attach_and_finish_stamp_meta():
+    trace = coalesced_trace(n_batches=64, n_slots=64, num_params=4, seed=3)
+    gpu = SIMULATED_GPUS["4090-Sim"]
+    telemetry = Telemetry()
+    result = simulate_kernel(trace, gpu, make_strategy("ARC-HW"),
+                             telemetry=telemetry)
+    meta = telemetry.meta
+    assert meta["trace_name"] == trace.name
+    assert meta["gpu"] == "4090-Sim"
+    assert meta["strategy"] == "ARC-HW"
+    assert meta["n_batches"] == trace.n_batches
+    assert meta["lsu_queue_depth"] == gpu.lsu_queue_depth
+    assert meta["total_cycles"] == result.total_cycles
+    assert meta["lsu_full_events"] == result.lsu_full_events
+    assert telemetry.total_cycles == result.total_cycles
+
+
+def test_records_are_simulation_time_bounded():
+    """Every span and busy interval lies within [0, total_cycles] with
+    start <= end, phases come from the documented vocabulary, and
+    sub-core / batch ids are in range."""
+    trace = scattered_trace(n_batches=48, n_slots=256, num_params=2, seed=4)
+    gpu = SIMULATED_GPUS["3060-Sim"]
+    telemetry = Telemetry()
+    result = simulate_kernel(trace, gpu, make_strategy("ARC-HW"),
+                             telemetry=telemetry)
+    horizon = result.total_cycles
+    n_subcores = gpu.num_sms * gpu.subcores_per_sm
+
+    assert telemetry.spans, "an active kernel must record spans"
+    for subcore, warp, batch, phase, start, end in telemetry.spans:
+        assert phase in PHASES
+        assert 0 <= subcore < n_subcores
+        assert 0 <= batch < trace.n_batches
+        assert 0 <= start <= end <= horizon
+
+    for sm, start, end in telemetry.lsu_intervals:
+        assert 0 <= sm < gpu.num_sms
+        assert 0 <= start <= end <= horizon
+    for partition, slot, ops, start, end in telemetry.rop_intervals:
+        assert 0 <= partition < gpu.num_partitions
+        assert slot >= 0 and ops >= 1
+        assert 0 <= start <= end <= horizon
+    for start, end in telemetry.ic_intervals:
+        assert 0 <= start <= end <= horizon
+    for subcore, start, end in telemetry.ru_intervals:
+        assert 0 <= subcore < n_subcores
+        assert 0 <= start <= end <= horizon
+    # ARC-HW routes reductions through the per-sub-core FPUs.
+    assert telemetry.ru_intervals
+
+
+def test_as_dict_round_trips():
+    trace = hotspot_trace(n_batches=40, num_params=4, seed=5)
+    gpu = SIMULATED_GPUS["3060-Sim"]
+    telemetry = Telemetry()
+    simulate_kernel(trace, gpu, make_strategy("PHI"), telemetry=telemetry)
+
+    payload = telemetry.as_dict()
+    rebuilt = Telemetry.from_dict(json.loads(json.dumps(payload)))
+    assert rebuilt.meta == telemetry.meta
+    assert rebuilt.spans == telemetry.spans
+    assert rebuilt.lsu_intervals == telemetry.lsu_intervals
+    assert rebuilt.rop_intervals == telemetry.rop_intervals
+    assert rebuilt.ic_intervals == telemetry.ic_intervals
+    assert rebuilt.ru_intervals == telemetry.ru_intervals
+
+    with pytest.raises(ValueError):
+        Telemetry.from_dict({"format": 99})
