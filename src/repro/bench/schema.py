@@ -1,0 +1,201 @@
+"""The ``BENCH_<scenario>.json`` document schema.
+
+One benchmark run produces one schema-versioned JSON document that is
+both a *measurement record* (what ran, how fast, on which machine and
+engine) and a *comparison substrate* (the committed baseline a later run
+is diffed against).  The document separates two metric classes:
+
+* **deterministic** fields -- simulated cycles, ROP-op counts, trace
+  fingerprints, per-phase simulated-time totals, cache hit/miss counts,
+  and a content digest of each cell's full :class:`SimResult`.  These are
+  properties of the *simulation*, not of the host executing it, so the
+  comparator holds them to exact equality: any drift means the engine's
+  behaviour changed, which either is a bug or requires deliberately
+  re-recording the baseline (the same policy as
+  ``tests/test_engine_guard.py``).
+* **timing** fields -- wall-clock milliseconds, cells/sec, peak RSS.
+  These measure the host and are compared with per-metric tolerances
+  (generous ones in CI, where machine variance dominates).
+
+Every document carries provenance: a machine fingerprint, the git SHA it
+was recorded at, and the simulation engine's source fingerprint
+(:func:`repro.experiments.diskcache.engine_fingerprint`) so a perf delta
+can always be tied to the engine revision that produced it.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import time
+
+__all__ = [
+    "FORMAT_VERSION",
+    "bench_filename",
+    "git_revision",
+    "machine_fingerprint",
+    "make_envelope",
+    "validate_report",
+]
+
+#: Bump when the document layout changes; the comparator refuses to diff
+#: documents of different formats instead of misreading fields.
+FORMAT_VERSION = 1
+
+#: Keys every cell's ``deterministic`` block must carry (``phase_cycles``
+#: is nullable: only telemetry-mode cells record spans).
+_DETERMINISTIC_KEYS = (
+    "sim_cycles", "rop_ops", "lane_ops", "trace_fingerprint", "sim_digest",
+    "repeat_stable", "phase_cycles",
+)
+
+#: Keys of one ``wall_ms`` sample summary.
+_STAT_KEYS = ("median", "iqr", "min", "max", "mean", "n")
+
+#: Keys every ``aggregate`` block must carry (nullable ones are only
+#: filled by the scenario modes that measure them).
+_AGGREGATE_KEYS = (
+    "wall_ms_total", "cells", "runs", "cells_per_sec", "peak_rss_kb",
+    "cache", "telemetry_overhead", "parallel",
+)
+
+
+def bench_filename(scenario: str) -> str:
+    """Canonical file name for one scenario's document."""
+    return f"BENCH_{scenario}.json"
+
+
+def machine_fingerprint() -> dict:
+    """Identity of the host that produced a measurement.
+
+    Timing numbers are only comparable between runs on similar machines;
+    the comparator reports (but does not fail on) a fingerprint change so
+    a reader can judge whether a wall-time delta is signal or a
+    different-host artifact.
+    """
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def git_revision(cwd: "str | None" = None) -> dict:
+    """``{"sha": ..., "dirty": ...}`` of the working tree, best effort.
+
+    A run outside a git checkout (an installed package, a bare CI
+    artifact directory) records ``sha: None`` rather than failing: the
+    provenance is advisory, the measurement still stands.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout
+        return {"sha": sha, "dirty": bool(status.strip())}
+    except (OSError, subprocess.SubprocessError):
+        return {"sha": None, "dirty": None}
+
+
+def make_envelope(scenario: str, config: "dict | None" = None) -> dict:
+    """Provenance-stamped skeleton of one BENCH document.
+
+    The bench runner fills ``cells`` and ``aggregate``; the figure
+    benchmarks' opt-in trajectory emission (``benchmarks/conftest.py``)
+    reuses the same envelope so every perf artifact in the repository
+    carries identical provenance fields.
+    """
+    from repro.experiments.diskcache import engine_fingerprint
+
+    return {
+        "format": FORMAT_VERSION,
+        "scenario": scenario,
+        "created_unix": time.time(),
+        "machine": machine_fingerprint(),
+        "git": git_revision(),
+        "engine_fingerprint": engine_fingerprint(),
+        "config": dict(config or {}),
+        "cells": [],
+        "aggregate": None,
+    }
+
+
+def _check_stat(problems: list, where: str, stat) -> None:
+    if not isinstance(stat, dict):
+        problems.append(f"{where}: expected a sample summary dict")
+        return
+    for key in _STAT_KEYS:
+        if key not in stat:
+            problems.append(f"{where}.{key}: missing")
+        elif not isinstance(stat[key], (int, float)):
+            problems.append(f"{where}.{key}: not a number")
+
+
+def validate_report(doc) -> list[str]:
+    """Every schema violation in *doc* (an empty list means valid).
+
+    Returns problems instead of raising so callers can report all of
+    them at once -- a comparator diagnosing a hand-edited baseline wants
+    the full list, not the first field that happened to be checked.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("format") != FORMAT_VERSION:
+        problems.append(
+            f"format: expected {FORMAT_VERSION}, got {doc.get('format')!r}"
+        )
+    if not isinstance(doc.get("scenario"), str) or not doc.get("scenario"):
+        problems.append("scenario: missing or not a string")
+    for key in ("machine", "git", "config"):
+        if not isinstance(doc.get(key), dict):
+            problems.append(f"{key}: missing or not an object")
+    if not isinstance(doc.get("engine_fingerprint"), str):
+        problems.append("engine_fingerprint: missing or not a string")
+    if not isinstance(doc.get("created_unix"), (int, float)):
+        problems.append("created_unix: missing or not a number")
+
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        problems.append("cells: missing or empty")
+        cells = []
+    seen_ids = set()
+    for index, cell in enumerate(cells):
+        where = f"cells[{index}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        cell_id = cell.get("id")
+        if not isinstance(cell_id, str) or not cell_id:
+            problems.append(f"{where}.id: missing or not a string")
+        elif cell_id in seen_ids:
+            problems.append(f"{where}.id: duplicate cell id {cell_id!r}")
+        else:
+            seen_ids.add(cell_id)
+        for key in ("trace", "gpu", "strategy"):
+            if not isinstance(cell.get(key), str):
+                problems.append(f"{where}.{key}: missing or not a string")
+        _check_stat(problems, f"{where}.wall_ms", cell.get("wall_ms"))
+        deterministic = cell.get("deterministic")
+        if not isinstance(deterministic, dict):
+            problems.append(f"{where}.deterministic: missing or not "
+                            "an object")
+        else:
+            for key in _DETERMINISTIC_KEYS:
+                if key not in deterministic:
+                    problems.append(f"{where}.deterministic.{key}: missing")
+
+    aggregate = doc.get("aggregate")
+    if not isinstance(aggregate, dict):
+        problems.append("aggregate: missing or not an object")
+    else:
+        for key in _AGGREGATE_KEYS:
+            if key not in aggregate:
+                problems.append(f"aggregate.{key}: missing")
+    return problems

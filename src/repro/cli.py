@@ -9,6 +9,8 @@ Thin wrappers over the library for the common one-off questions:
 * ``train``      -- train a workload's model and report loss/PSNR.
 * ``breakdown``  -- training-time phase breakdown (Figure 4).
 * ``tune``       -- balancing-threshold sweep (§5.5.3 / Figure 23).
+* ``bench``      -- run a named benchmark scenario, write its
+  ``BENCH_<scenario>.json``, optionally diff against a baseline.
 * ``cache``      -- inspect or clear the persistent simulation cache.
 * ``lint``       -- arclint domain-invariant static analysis (ARC001-8).
 
@@ -201,6 +203,50 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workload_arg(tune)
     _add_gpu_arg(tune)
     tune.add_argument("--variant", choices=("B", "S"), default="B")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a named benchmark scenario and write BENCH_<name>.json "
+             "(see `repro bench --list`)",
+    )
+    bench.add_argument(
+        "scenario", nargs="?", metavar="SCENARIO",
+        help="registered scenario name (omit with --list)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list registered scenarios and exit",
+    )
+    bench.add_argument(
+        "--repeats", type=_positive_int, default=None, metavar="N",
+        help="measurement repeats per cell (default: per-scenario)",
+    )
+    bench.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="where to write the BENCH document "
+             "(default: BENCH_<scenario>.json in the working directory)",
+    )
+    bench.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="diff the fresh run against a committed BENCH baseline; "
+             "exits 1 on a regression or deterministic mismatch",
+    )
+    bench.add_argument(
+        "--timing-tolerance", type=float, default=0.5, metavar="FRAC",
+        help="allowed relative wall-time slowdown before --compare "
+             "regresses (default: 0.5; CI uses generous values)",
+    )
+    bench.add_argument(
+        "--rss-tolerance", type=float, default=1.0, metavar="FRAC",
+        help="allowed relative peak-RSS growth before --compare "
+             "regresses (default: 1.0)",
+    )
+    bench.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json: the BENCH document, plus the "
+             "comparison under 'comparison' when --compare is given)",
+    )
+    _add_observability_args(bench)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent simulation cache"
@@ -550,6 +596,128 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro import bench
+    from repro.experiments.report import format_table
+
+    if args.list_scenarios:
+        if args.format == "json":
+            print(json.dumps({
+                name: {
+                    "description": scenario.description,
+                    "mode": scenario.mode,
+                    "cheap": scenario.cheap,
+                    "repeats": scenario.repeats,
+                    "cells": scenario.cell_count(),
+                }
+                for name, scenario in sorted(bench.SCENARIOS.items())
+            }, indent=2, sort_keys=True))
+            return 0
+        rows = [
+            [name, scenario.mode, "yes" if scenario.cheap else "no",
+             str(scenario.cell_count()), scenario.description]
+            for name, scenario in sorted(bench.SCENARIOS.items())
+        ]
+        print(format_table(
+            ["scenario", "mode", "cheap", "cells", "description"], rows,
+            title="bench scenarios (cheap ones run in CI on every PR)",
+        ))
+        return 0
+    if args.scenario is None:
+        print("error: a scenario name is required (or --list)",
+              file=sys.stderr)
+        return 2
+    try:
+        bench.get_scenario(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.compare is not None:
+        try:
+            with open(args.compare, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    doc = bench.run_scenario(args.scenario, repeats=args.repeats)
+    out_path = args.out or bench.bench_filename(args.scenario)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    comparison = None
+    if baseline is not None:
+        try:
+            comparison = bench.compare_reports(
+                baseline, doc, bench.Tolerances(
+                    timing_frac=args.timing_tolerance,
+                    rss_frac=args.rss_tolerance,
+                ),
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        obslog.emit("bench.compare", scenario=args.scenario,
+                    baseline=args.compare, verdict=comparison.verdict)
+
+    if args.format == "json":
+        payload = dict(doc)
+        if comparison is not None:
+            payload["comparison"] = comparison.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return comparison.exit_code if comparison is not None else 0
+
+    aggregate = doc["aggregate"]
+    rows = [
+        [cell["id"], f"{cell['wall_ms']['median']:,.2f}",
+         f"{cell['wall_ms']['iqr']:,.2f}",
+         f"{cell['throughput']['batches_per_sec']:,.0f}"]
+        for cell in doc["cells"]
+    ]
+    print(format_table(
+        ["cell", "median ms", "IQR ms", "batches/s"], rows,
+        title=f"bench {args.scenario} "
+              f"(repeats={doc['config']['repeats']})",
+    ))
+    console.info("")
+    console.info("cells/sec: %.1f | total wall: %.0f ms | peak RSS: %s KiB",
+                 aggregate["cells_per_sec"], aggregate["wall_ms_total"],
+                 f"{aggregate['peak_rss_kb']:,}")
+    if aggregate["cache"] is not None:
+        console.info(
+            "cache: cold hit rate %.0f%%, warm hit rate %.0f%%, "
+            "warm speedup %.1fx",
+            100 * aggregate["cache"]["cold_hit_rate"],
+            100 * aggregate["cache"]["warm_hit_rate"],
+            aggregate["cache"]["warm_speedup"],
+        )
+    if aggregate["telemetry_overhead"] is not None:
+        console.info(
+            "telemetry: overhead %.2fx, bit-identical: %s",
+            aggregate["telemetry_overhead"]["overhead_ratio"],
+            aggregate["telemetry_overhead"]["bit_identical"],
+        )
+    if aggregate["parallel"] is not None:
+        console.info(
+            "parallel: %.2fx speedup at jobs=%d, bit-identical: %s",
+            aggregate["parallel"]["speedup"],
+            aggregate["parallel"]["jobs"],
+            aggregate["parallel"]["bit_identical"],
+        )
+    console.info("bench written: %s", out_path)
+    if comparison is not None:
+        print()
+        print(comparison.render_text())
+        return comparison.exit_code
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.experiments import diskcache
 
@@ -653,6 +821,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": lambda: _cmd_train(args),
         "breakdown": lambda: _cmd_breakdown(args),
         "tune": lambda: _cmd_tune(args),
+        "bench": lambda: _cmd_bench(args),
         "cache": lambda: _cmd_cache(args),
         "lint": lambda: _cmd_lint(args),
     }

@@ -7,6 +7,16 @@ strategy -- and require bit-identical ``SimResult.to_dict()`` output,
 both with ``telemetry=None`` (the hot path must be untouched) and with a
 live :class:`~repro.gpu.telemetry.Telemetry` collector attached (probes
 must observe, never perturb).
+
+``tests/data/engine_guard_workloads.json`` widens the net from synthetic
+traces to *captured workload* traces -- the histogram workload and a
+small 3DGS render capture -- across **every** registered strategy
+(all ARC-SW thresholds included, not just the report set).  This is the
+bit-identity safety net ROADMAP item 1's engine rewrite works against:
+any fast path must reproduce these cells byte for byte.  When engine
+*behaviour* changes deliberately, re-record with::
+
+    PYTHONPATH=src python tests/test_engine_guard.py --record
 """
 
 from __future__ import annotations
@@ -16,7 +26,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.runner import make_strategy
+from repro.experiments.runner import STRATEGY_FACTORIES, make_strategy
 from repro.gpu import SIMULATED_GPUS, Telemetry, simulate_kernel
 from repro.trace import (
     coalesced_trace,
@@ -26,6 +36,9 @@ from repro.trace import (
 )
 
 FIXTURE = Path(__file__).parent / "data" / "engine_guard.json"
+WORKLOAD_FIXTURE = (
+    Path(__file__).parent / "data" / "engine_guard_workloads.json"
+)
 
 #: Exact trace constructions the fixture was recorded against.
 TRACES = {
@@ -46,6 +59,100 @@ def load_fixture() -> dict:
     recorded = json.loads(FIXTURE.read_text())
     assert recorded["format"] == 1
     return recorded["results"]
+
+
+# --------------------------------------------------------------------- #
+# Strategy x workload grid (captured traces, every registered strategy)
+# --------------------------------------------------------------------- #
+
+#: Exact workload captures the grid fixture was recorded against.  The
+#: histogram trace is divergent (``bfly_eligible=False``), so SW-B
+#: strategies are skipped there exactly as ``strategy_applicable`` does.
+WORKLOAD_TRACES = {
+    "histogram": lambda: _histogram_workload().capture_trace(),
+    "render-gaussian": lambda: _gaussian_workload().capture_trace(),
+}
+
+#: The grid runs one GPU but *every* factory-registered strategy --
+#: including the ARC-SW threshold sweep the report set leaves out.
+GRID_GPU = "3060-Sim"
+GRID_STRATEGIES = sorted(STRATEGY_FACTORIES)
+
+
+def _histogram_workload():
+    from repro.workloads import HistogramWorkload
+
+    return HistogramWorkload(n_elements=4096, n_bins=64, smoothness=4,
+                             seed=7)
+
+
+def _gaussian_workload():
+    from repro.workloads import GaussianWorkload
+
+    return GaussianWorkload(
+        key="guard-3D", dataset="guard", description="guard render capture",
+        n_gaussians=64, base_scale=0.15, extent=1.0, width=64, height=64,
+        seed=21,
+    )
+
+
+def iter_workload_grid():
+    """Yield ``(key, trace, gpu, strategy_name)`` for every grid cell."""
+    gpu = SIMULATED_GPUS[GRID_GPU]
+    for tname, factory in sorted(WORKLOAD_TRACES.items()):
+        trace = factory()
+        for sname in GRID_STRATEGIES:
+            if "SW-B" in sname and not trace.bfly_eligible:
+                continue
+            yield f"{tname}|{gpu.name}|{sname}", trace, gpu, sname
+
+
+def record_workload_fixture(path: Path = WORKLOAD_FIXTURE) -> int:
+    """(Re-)record the workload-grid fixture.  Returns the cell count."""
+    results = {}
+    for key, trace, gpu, sname in iter_workload_grid():
+        result = simulate_kernel(trace, gpu, make_strategy(sname))
+        results[key] = json.loads(json.dumps(result.to_dict()))
+    path.write_text(json.dumps(
+        {"format": 1, "results": results}, indent=1, sort_keys=True
+    ) + "\n")
+    return len(results)
+
+
+def load_workload_fixture() -> dict:
+    recorded = json.loads(WORKLOAD_FIXTURE.read_text())
+    assert recorded["format"] == 1
+    return recorded["results"]
+
+
+@pytest.mark.parametrize(
+    "with_telemetry", [False, True], ids=["telemetry-off", "telemetry-on"]
+)
+def test_workload_grid_matches_recorded_fixture(with_telemetry):
+    recorded = load_workload_fixture()
+    seen = set()
+    for key, trace, gpu, sname in iter_workload_grid():
+        seen.add(key)
+        telemetry = Telemetry() if with_telemetry else None
+        result = simulate_kernel(
+            trace, gpu, make_strategy(sname), telemetry=telemetry
+        )
+        produced = json.loads(json.dumps(result.to_dict()))
+        assert produced == recorded[key], key
+    assert seen == set(recorded), "workload grid drifted"
+
+
+def test_workload_grid_covers_every_registered_strategy():
+    """The grid must widen, never silently narrow, with the registry."""
+    recorded = load_workload_fixture()
+    strategies_in_fixture = {key.split("|")[2] for key in recorded}
+    assert strategies_in_fixture == set(STRATEGY_FACTORIES)
+    # The render trace is butterfly-eligible, so SW-B rows exist there.
+    assert any(key.startswith("render-gaussian|") and "SW-B" in key
+               for key in recorded)
+    # ...and are correctly absent from the divergent histogram trace.
+    assert not any(key.startswith("histogram|") and "SW-B" in key
+                   for key in recorded)
 
 
 @pytest.mark.parametrize(
@@ -72,3 +179,13 @@ def test_engine_matches_recorded_fixture(with_telemetry):
                 produced = json.loads(json.dumps(result.to_dict()))
                 assert produced == recorded[key], key
     assert seen == set(recorded), "fixture matrix drifted"
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--record" in sys.argv:
+        count = record_workload_fixture()
+        print(f"recorded {count} cells -> {WORKLOAD_FIXTURE}")
+    else:
+        print(__doc__)
