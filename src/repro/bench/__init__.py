@@ -15,7 +15,9 @@ the machinery that produces and polices them:
 * :mod:`repro.bench.schema`    -- the document format, provenance
   stamping (machine / git SHA / engine fingerprint) and validation;
 * :mod:`repro.bench.compare`   -- the baseline comparator and its
-  tolerance policy (exact on deterministic fields, banded on timing).
+  tolerance policy (exact on deterministic fields, banded on timing);
+* :mod:`repro.bench.history`   -- collates a directory of per-run BENCH
+  documents into one trajectory table (``repro bench --history``).
 
 CLI entry point: ``repro bench`` (see :mod:`repro.cli`).
 """
@@ -33,6 +35,11 @@ from repro.bench.registry import (
     get_scenario,
     scenario_names,
 )
+from repro.bench.history import (
+    HISTORY_COLUMNS,
+    collate_history,
+    load_reports,
+)
 from repro.bench.runner import run_scenario
 from repro.bench.schema import (
     FORMAT_VERSION,
@@ -43,6 +50,7 @@ from repro.bench.schema import (
 
 __all__ = [
     "FORMAT_VERSION",
+    "HISTORY_COLUMNS",
     "SCENARIOS",
     "CompareEntry",
     "Comparison",
@@ -50,8 +58,10 @@ __all__ = [
     "Tolerances",
     "bench_filename",
     "cheap_scenario_names",
+    "collate_history",
     "compare_reports",
     "get_scenario",
+    "load_reports",
     "make_envelope",
     "run_scenario",
     "scenario_names",

@@ -1,0 +1,104 @@
+"""Trajectory collation: many per-run BENCH documents into one table.
+
+Every CI bench run (and every local ``repro bench``) writes one
+``BENCH_<scenario>.json`` snapshot, and the CI job uploads it as an
+artifact -- but a pile of per-run artifacts is not a trajectory.
+``repro bench --history <dir>`` reads every ``*.json`` under a
+directory (recursively, so a directory of unpacked artifact folders
+works as-is), keeps the files that look like BENCH documents, and
+collates them into rows sorted by ``(scenario, created_unix)``: one
+line per run showing when it ran, on which commit and engine
+fingerprint, and the headline aggregate numbers.  Walking down one
+scenario's block *is* the perf trajectory across commits.
+
+Documents that fail to parse or lack the envelope keys are skipped and
+reported (a history directory accumulates junk -- comparator output,
+partial downloads); skipping silently would make a hole in the
+trajectory look like a fast run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["HISTORY_COLUMNS", "collate_history", "load_reports"]
+
+#: Column order of one collated row (also the text-table header).
+HISTORY_COLUMNS = (
+    "scenario", "created_unix", "git_sha", "dirty", "engine_fingerprint",
+    "cells", "wall_ms_total", "cells_per_sec", "peak_rss_kb", "source",
+)
+
+#: Envelope keys a file must carry to count as a BENCH document.
+_REQUIRED_KEYS = ("scenario", "created_unix", "aggregate", "cells")
+
+
+def load_reports(directory) -> "tuple[list[dict], list[str]]":
+    """(documents, skipped) from every ``*.json`` under *directory*.
+
+    Each returned document gains a ``_source`` key with its path
+    relative to *directory*, so a surprising row can be traced back to
+    the file it came from.  *skipped* lists files that were not BENCH
+    documents, with the reason.
+    """
+    import json
+
+    root = Path(directory)
+    documents: list[dict] = []
+    skipped: list[str] = []
+    for path in sorted(root.rglob("*.json")):
+        rel = path.relative_to(root).as_posix()
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            skipped.append(f"{rel}: unreadable ({exc})")
+            continue
+        if not isinstance(doc, dict):
+            skipped.append(f"{rel}: not a JSON object")
+            continue
+        missing = [key for key in _REQUIRED_KEYS if key not in doc]
+        if missing:
+            skipped.append(
+                f"{rel}: not a BENCH document (missing {', '.join(missing)})"
+            )
+            continue
+        if not isinstance(doc.get("aggregate"), dict):
+            skipped.append(f"{rel}: aggregate is not an object")
+            continue
+        doc["_source"] = rel
+        documents.append(doc)
+    return documents, skipped
+
+
+def collate_history(reports: "list[dict]") -> list[dict]:
+    """One row per document, sorted by ``(scenario, created_unix)``.
+
+    Row keys are :data:`HISTORY_COLUMNS`; unknown provenance fields
+    (a document recorded outside git) collate as ``None`` rather than
+    being dropped, so the trajectory keeps its time axis even for runs
+    with thin provenance.
+    """
+    rows: list[dict] = []
+    for doc in reports:
+        aggregate = doc.get("aggregate") or {}
+        git = doc.get("git") or {}
+        fingerprint = doc.get("engine_fingerprint")
+        rows.append({
+            "scenario": doc.get("scenario"),
+            "created_unix": doc.get("created_unix"),
+            "git_sha": git.get("sha"),
+            "dirty": git.get("dirty"),
+            "engine_fingerprint": (
+                fingerprint[:12] if isinstance(fingerprint, str)
+                else None
+            ),
+            "cells": len(doc.get("cells") or []),
+            "wall_ms_total": aggregate.get("wall_ms_total"),
+            "cells_per_sec": aggregate.get("cells_per_sec"),
+            "peak_rss_kb": aggregate.get("peak_rss_kb"),
+            "source": doc.get("_source"),
+        })
+    rows.sort(key=lambda row: (
+        row["scenario"] or "", row["created_unix"] or 0,
+    ))
+    return rows

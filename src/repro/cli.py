@@ -12,7 +12,7 @@ Thin wrappers over the library for the common one-off questions:
 * ``bench``      -- run a named benchmark scenario, write its
   ``BENCH_<scenario>.json``, optionally diff against a baseline.
 * ``cache``      -- inspect or clear the persistent simulation cache.
-* ``lint``       -- arclint domain-invariant static analysis (ARC001-8).
+* ``lint``       -- arclint domain-invariant static analysis (ARC001-12).
 
 ``simulate`` accepts ``--jobs N`` to fan cells across worker processes
 (default from ``REPRO_JOBS``) and ``--no-cache`` to bypass the
@@ -218,6 +218,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list registered scenarios and exit",
     )
     bench.add_argument(
+        "--history", metavar="DIR", default=None,
+        help="collate every BENCH_*.json under DIR (recursively) into "
+             "one perf-trajectory table and exit (no scenario is run)",
+    )
+    bench.add_argument(
         "--repeats", type=_positive_int, default=None, metavar="N",
         help="measurement repeats per cell (default: per-scenario)",
     )
@@ -260,7 +265,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run arclint, the domain-invariant static analysis "
              "(fingerprint-completeness, determinism, unit-safety, "
              "strategy-conformance, interprocedural units, event ties, "
-             "cache-key taint)",
+             "cache-key taint, process-safety/race detection)",
     )
     _add_lint_arguments(lint)
     return parser
@@ -625,8 +630,10 @@ def _cmd_bench(args) -> int:
             title="bench scenarios (cheap ones run in CI on every PR)",
         ))
         return 0
+    if args.history is not None:
+        return _bench_history(args)
     if args.scenario is None:
-        print("error: a scenario name is required (or --list)",
+        print("error: a scenario name is required (or --list/--history)",
               file=sys.stderr)
         return 2
     try:
@@ -718,6 +725,66 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _bench_history(args) -> int:
+    """``repro bench --history DIR``: collate per-run BENCH artifacts."""
+    import json
+
+    from repro import bench
+    from repro.experiments.report import format_table
+
+    from pathlib import Path
+
+    if not Path(args.history).is_dir():
+        print(f"error: --history directory not found: {args.history}",
+              file=sys.stderr)
+        return 2
+    reports, skipped = bench.load_reports(args.history)
+    rows = bench.collate_history(reports)
+    if args.format == "json":
+        print(json.dumps(
+            {"rows": rows, "skipped": skipped}, indent=2, sort_keys=True
+        ))
+        return 0
+    if not rows:
+        print(f"no BENCH documents under {args.history}")
+        for reason in skipped:
+            console.info("skipped %s", reason)
+        return 0
+    from datetime import datetime, timezone
+
+    table_rows = []
+    for row in rows:
+        created = row["created_unix"]
+        when = (
+            datetime.fromtimestamp(created, tz=timezone.utc)
+            .strftime("%Y-%m-%d %H:%M")
+            if isinstance(created, (int, float)) else "?"
+        )
+        sha = (row["git_sha"] or "?")[:9]
+        if row["dirty"]:
+            sha += "*"
+        table_rows.append([
+            row["scenario"] or "?", when, sha,
+            row["engine_fingerprint"] or "?", str(row["cells"]),
+            f"{row['wall_ms_total']:,.0f}"
+            if isinstance(row["wall_ms_total"], (int, float)) else "?",
+            f"{row['cells_per_sec']:,.1f}"
+            if isinstance(row["cells_per_sec"], (int, float)) else "?",
+            f"{row['peak_rss_kb']:,}"
+            if isinstance(row["peak_rss_kb"], int) else "?",
+        ])
+    print(format_table(
+        ["scenario", "created (UTC)", "commit", "engine", "cells",
+         "wall ms", "cells/s", "RSS KiB"],
+        table_rows,
+        title=f"bench trajectory ({len(rows)} run(s) "
+              f"under {args.history}; * = dirty tree)",
+    ))
+    for reason in skipped:
+        console.info("skipped %s", reason)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.experiments import diskcache
 
@@ -740,6 +807,10 @@ def _cmd_cache(args) -> int:
     if quarantined:
         print(f"quarantined: {len(quarantined)} corrupt entr(ies) "
               f"preserved under {cache.quarantine_dir}")
+    if cache.swept_temp_files:
+        print(f"swept: {cache.swept_temp_files} orphaned writer temp "
+              f"file(s) older than {diskcache.sweep_age_seconds():,.0f}s "
+              f"(tune with {diskcache.SWEEP_AGE_ENV})")
     return 0
 
 

@@ -40,7 +40,9 @@ Configuration:
 * ``REPRO_CACHE_DIR`` -- cache directory (default
   ``$XDG_CACHE_HOME/repro-arc`` or ``~/.cache/repro-arc``);
 * ``REPRO_NO_DISK_CACHE=1`` -- disable the disk layer entirely;
-* :func:`configure` -- programmatic override of both.
+* ``REPRO_CACHE_SWEEP_AGE`` -- orphaned-temp-file sweep age gate in
+  seconds (default 3600);
+* :func:`configure` -- programmatic override of the first two.
 """
 
 from __future__ import annotations
@@ -63,6 +65,7 @@ from repro.trace.events import KernelTrace
 __all__ = [
     "CACHE_DIR_ENV",
     "NO_CACHE_ENV",
+    "SWEEP_AGE_ENV",
     "CacheStats",
     "DiskCache",
     "active_cache",
@@ -72,10 +75,12 @@ __all__ = [
     "isolated",
     "result_key",
     "strategy_fingerprint",
+    "sweep_age_seconds",
 ]
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 NO_CACHE_ENV = "REPRO_NO_DISK_CACHE"
+SWEEP_AGE_ENV = "REPRO_CACHE_SWEEP_AGE"
 
 #: Bump when the entry schema or keying scheme changes; old entries are
 #: then treated as misses instead of deserializing wrongly.
@@ -86,8 +91,26 @@ _SCALAR_TYPES = (bool, int, float, str, type(None))
 #: Writer temp files older than this are orphans of a killed process (a
 #: live writer holds its temp file only between ``mkstemp`` and
 #: ``os.replace``); younger ones may belong to a concurrent worker and
-#: are left alone.
+#: are left alone.  ``REPRO_CACHE_SWEEP_AGE`` overrides (seconds).
 _TEMP_ORPHAN_AGE_SECONDS = 3600.0
+
+
+def sweep_age_seconds() -> float:
+    """Age (seconds) past which a writer temp file counts as orphaned.
+
+    ``REPRO_CACHE_SWEEP_AGE`` overrides the one-hour default; values
+    that do not parse as a non-negative number are ignored rather than
+    turning the sweep into a weapon against live writers.
+    """
+    raw = os.environ.get(SWEEP_AGE_ENV, "").strip()
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            value = -1.0
+        if value >= 0:
+            return value
+    return _TEMP_ORPHAN_AGE_SECONDS
 
 
 def default_cache_dir() -> Path:
@@ -255,13 +278,13 @@ class DiskCache:
     def _sweep_orphan_temps(self) -> int:
         """Remove writer temp files abandoned by killed processes.
 
-        Only files older than :data:`_TEMP_ORPHAN_AGE_SECONDS` go: a
-        younger temp file may be a concurrent worker's in-flight write,
-        and sweeping it would fail that writer's ``os.replace``.
+        Only files older than :func:`sweep_age_seconds` go: a younger
+        temp file may be a concurrent worker's in-flight write, and
+        sweeping it would fail that writer's ``os.replace``.
         """
         if not self.results_dir.is_dir():
             return 0
-        cutoff = time.time() - _TEMP_ORPHAN_AGE_SECONDS
+        cutoff = time.time() - sweep_age_seconds()
         removed = 0
         for tmp in self.results_dir.glob("*/.*.tmp"):
             try:

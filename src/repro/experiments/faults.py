@@ -160,8 +160,11 @@ def configure(plan: "FaultPlan | None") -> "FaultPlan | None":
 
 def active_plan() -> "FaultPlan | None":
     """The configured plan, else the one in ``REPRO_FAULTS``, else None."""
-    if _plan is not None:
-        return _plan
+    # The parent-written global is a parent-side fast path only; workers
+    # intentionally fall through to the REPRO_FAULTS env fallback below,
+    # which configure() exports before any pool exists (spawn-carry set).
+    if _plan is not None:  # arclint: disable=ARC010
+        return _plan  # arclint: disable=ARC010
     raw = os.environ.get(FAULTS_ENV, "").strip()
     if not raw:
         return None
@@ -209,7 +212,9 @@ def corrupt_entry(path: Path) -> bool:
         data = path.read_bytes()
     except OSError:
         return False
-    path.write_bytes(data[: max(1, len(data) // 2)])
+    # Deliberately unsound: this *is* the torn write the corrupt-cache
+    # fault simulates, so the quarantine path gets exercised.
+    path.write_bytes(data[: max(1, len(data) // 2)])  # arclint: disable=ARC009
     return True
 
 

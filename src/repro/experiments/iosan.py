@@ -1,0 +1,269 @@
+"""Runtime I/O sanitizer: record what processes *actually* do to shared
+files, so the static process-safety model can be cross-checked.
+
+ARC009/ARC012 (:mod:`repro.lint.rules.concurrency`) reason about an
+escape analysis' *model* of which writes reach shared resources and by
+which protocol.  Static models drift; this module is the runtime ground
+truth that keeps ours honest, the same way ARC007's heap-tie assert
+backs its static rule.  With ``REPRO_SANITIZE=1`` and a log path in
+``REPRO_IOSAN_LOG``, :func:`maybe_install` interposes on the handful of
+primitives every repro file write goes through:
+
+* ``builtins.open`` / ``io.open`` (``pathlib.Path`` I/O lands here too),
+  recording path and mode;
+* ``os.open``, recording path and flags (the ``O_APPEND`` protocol);
+* ``os.replace`` / ``os.rename``, recording source and destination (the
+  atomic-rename protocol commit point).
+
+Each record is one JSONL line appended with a single ``O_APPEND``
+``write`` through the *saved* primitives -- the shim itself follows the
+protocol discipline it audits, and cannot recurse into itself.  Both
+env vars travel across ``spawn`` (they are in the declared carry set),
+and :func:`maybe_install` runs in the pool initializer, so parent and
+worker accesses land in one stream tagged by pid.
+
+:func:`observed_protocols` then folds a recorded stream into the same
+``(resource class, protocol)`` pairs the static
+:class:`~repro.lint.dataflow.resources.ResourceModel` produces.  The
+chaos-suite cross-check asserts observed pairs are a subset of the
+static model: an unmodeled writer or protocol shows up as a test
+failure, not as silent analysis unsoundness.  The protocol/class
+vocabulary is deliberately duplicated from the lint layer (experiments
+must not import ``repro.lint``); the test suite pins the two sets of
+string constants equal.
+"""
+
+from __future__ import annotations
+
+import builtins
+import io
+import json
+import os
+from pathlib import Path
+
+__all__ = [
+    "IOSAN_LOG_ENV",
+    "SANITIZE_ENV",
+    "classify_path",
+    "enabled",
+    "installed",
+    "maybe_install",
+    "observed_protocols",
+    "read_log",
+    "uninstall",
+]
+
+SANITIZE_ENV = "REPRO_SANITIZE"
+IOSAN_LOG_ENV = "REPRO_IOSAN_LOG"
+
+# Protocol names, kept identical to repro.lint.dataflow.resources (the
+# cross-check test asserts this, so a rename there cannot desync us).
+PROTOCOL_ATOMIC_RENAME = "atomic-rename"
+PROTOCOL_APPEND = "o-append"
+PROTOCOL_TEMP = "temp-file"
+PROTOCOL_RAW_WRITE = "raw-write"
+PROTOCOL_BUFFERED_APPEND = "buffered-append"
+
+_real_open = builtins.open
+_real_io_open = io.open
+_real_os_open = os.open
+_real_os_replace = os.replace
+_real_os_rename = os.rename
+
+_installed = False
+
+
+def enabled() -> bool:
+    """Whether the shim should interpose in this process."""
+    sanitize = os.environ.get(SANITIZE_ENV, "").strip()
+    if sanitize in ("", "0"):
+        return False
+    return bool(os.environ.get(IOSAN_LOG_ENV, "").strip())
+
+
+def installed() -> bool:
+    return _installed
+
+
+def _record(op: str, path, **fields) -> None:
+    """Append one observation line via the *saved* primitives only."""
+    log_path = os.environ.get(IOSAN_LOG_ENV, "").strip()
+    if not log_path:
+        return
+    record = {"op": op, "path": str(path), "pid": os.getpid()}
+    record.update(fields)
+    line = json.dumps(record, sort_keys=True) + "\n"
+    try:
+        fd = _real_os_open(
+            log_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+    except OSError:
+        return  # observation must never take down the observed run
+
+
+def _traced_open(file, mode="r", *args, **kwargs):
+    if isinstance(file, (str, os.PathLike)):
+        _record("open", file, mode=mode)
+    return _real_open(file, mode, *args, **kwargs)
+
+
+def _traced_io_open(file, mode="r", *args, **kwargs):
+    if isinstance(file, (str, os.PathLike)):
+        _record("open", file, mode=mode)
+    return _real_io_open(file, mode, *args, **kwargs)
+
+
+def _traced_os_open(path, flags, *args, **kwargs):
+    if isinstance(path, (str, os.PathLike)):
+        _record("os.open", path, flags=int(flags))
+    return _real_os_open(path, flags, *args, **kwargs)
+
+
+def _traced_os_replace(src, dst, **kwargs):
+    _record("replace", dst, src=str(src))
+    return _real_os_replace(src, dst, **kwargs)
+
+
+def _traced_os_rename(src, dst, **kwargs):
+    _record("rename", dst, src=str(src))
+    return _real_os_rename(src, dst, **kwargs)
+
+
+def maybe_install() -> bool:
+    """Interpose when :func:`enabled`; True when the shim is active.
+
+    Idempotent, and called from both the parent (test harness) and the
+    worker initializer -- ``spawn`` workers re-import this module with
+    the pristine primitives, so each process installs its own shim.
+    """
+    global _installed
+    if not enabled():
+        return _installed
+    if _installed:
+        return True
+    builtins.open = _traced_open
+    io.open = _traced_io_open
+    os.open = _traced_os_open
+    os.replace = _traced_os_replace
+    os.rename = _traced_os_rename
+    _installed = True
+    return True
+
+
+def uninstall() -> None:
+    """Restore the pristine primitives (parent-side test cleanup)."""
+    global _installed
+    builtins.open = _real_open
+    io.open = _real_io_open
+    os.open = _real_os_open
+    os.replace = _real_os_replace
+    os.rename = _real_os_rename
+    _installed = False
+
+
+# --------------------------------------------------------------------- #
+# Reading a recorded stream back into (resource, protocol) observations
+# --------------------------------------------------------------------- #
+
+
+def read_log(path) -> list[dict]:
+    """Parse a recorded JSONL stream (torn lines skipped, like obslog)."""
+    events = []
+    try:
+        handle = _real_open(path, encoding="utf-8")
+    except (FileNotFoundError, OSError):
+        return events
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue
+    return events
+
+
+def _is_temp_name(name: str) -> bool:
+    return name.startswith(".") and name.endswith(".tmp")
+
+
+def classify_path(
+    path: str, cache_root, obslog_path: "str | None"
+) -> "str | None":
+    """Resource class of *path*, mirroring the static pattern table.
+
+    Writer temp files (``.<prefix>-*.tmp``) classify as ``None``: they
+    are the private half of an atomic-rename write, not shared state.
+    """
+    resolved = Path(path)
+    if _is_temp_name(resolved.name):
+        return None
+    if obslog_path and str(resolved) == str(Path(obslog_path)):
+        return "obslog"
+    if cache_root is not None:
+        root = Path(cache_root)
+        try:
+            relative = resolved.relative_to(root)
+        except ValueError:
+            return None
+        parts = relative.parts
+        if not parts:
+            return None
+        if parts[0] == "results":
+            return "cache-results"
+        if parts[0] == "quarantine":
+            return "cache-quarantine"
+        if parts[0] == "manifests":
+            return "manifest"
+    return None
+
+
+def _protocol_of(event: dict) -> "str | None":
+    """Write protocol one recorded event used (``None`` for reads)."""
+    op = event.get("op")
+    if op in ("replace", "rename"):
+        return PROTOCOL_ATOMIC_RENAME
+    if op == "os.open":
+        flags = int(event.get("flags", 0))
+        if flags & os.O_APPEND:
+            return PROTOCOL_APPEND
+        if flags & (os.O_WRONLY | os.O_RDWR | os.O_CREAT | os.O_TRUNC):
+            return PROTOCOL_RAW_WRITE
+        return None
+    if op == "open":
+        mode = str(event.get("mode", "r"))
+        if any(flag in mode for flag in ("w", "x", "+")):
+            return PROTOCOL_RAW_WRITE
+        if "a" in mode:
+            return PROTOCOL_BUFFERED_APPEND
+        return None
+    return None
+
+
+def observed_protocols(
+    events: list[dict], cache_root, obslog_path: "str | None" = None
+) -> set[tuple[str, str]]:
+    """(resource class, write protocol) pairs a recorded stream shows.
+
+    ``mkstemp``'s ``os.open`` of a dot-tmp file classifies to no
+    resource and drops out, same as the static model's ``temp-file``
+    exclusion; the commit is seen at its ``os.replace``.
+    """
+    observed: set[tuple[str, str]] = set()
+    for event in events:
+        protocol = _protocol_of(event)
+        if protocol is None:
+            continue
+        resource = classify_path(
+            str(event.get("path", "")), cache_root, obslog_path
+        )
+        if resource is None:
+            continue
+        observed.add((resource, protocol))
+    return observed

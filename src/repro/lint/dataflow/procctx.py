@@ -1,0 +1,274 @@
+"""Process-context analysis: which functions run in spawn workers.
+
+The experiment stack fans cells across a ``spawn``-based
+:class:`~concurrent.futures.ProcessPoolExecutor`, which splits every
+function in ``repro/experiments`` into three execution contexts:
+
+* **parent** -- runs only in the orchestrating process (matrix planning,
+  future driving, manifest bookkeeping);
+* **worker** -- runs only inside pool workers (the submitted task, the
+  pool initializer, and everything they call);
+* **both**   -- shared helpers reachable from either side
+  (``simulate_cell``, the fault hooks, the disk-cache machinery).
+
+The split matters because ``spawn`` re-imports modules in the worker:
+module state mutated by the parent after import is *not* inherited, and
+environment variables are snapshotted at pool construction.  The
+process-safety rules (ARC010/ARC011) are context judgements, and this
+module computes the context lattice they consume.
+
+Worker entry points are discovered syntactically, then closed over the
+call graph:
+
+* the first positional argument of ``<pool-like>.submit(f, ...)`` calls
+  (receiver named like a pool/executor, matching ARC005's heuristic);
+* the ``initializer=`` keyword of any call (executor construction);
+* the ``target=`` keyword of any call (``multiprocessing.Process``).
+
+Everything transitively callable from an entry is *worker*; everything
+reachable from a parent root -- a function no project code calls, which
+is where the CLI, tests and library consumers enter -- is *parent*; the
+intersection is *both*.  The closure walks the shared
+:class:`~repro.lint.dataflow.callgraph.CallGraph` plus two edge kinds it
+deliberately omits: constructor calls (``DiskCache(root)`` enters
+``__init__``) and method calls on locals whose class is known from a
+constructor assignment, an annotated parameter, or a called function's
+return annotation (``cache = active_cache(); cache.load(key)``).  Calls
+that still fail to resolve produce no edge, so the analysis stays
+under-approximate: a function is only ever *claimed* to run in a worker
+when a submission path provably exists.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.lint import astutil
+from repro.lint.dataflow.symbols import (
+    ClassSymbol,
+    FunctionSymbol,
+    SymbolTable,
+    annotation_name,
+)
+
+if TYPE_CHECKING:
+    from repro.lint.dataflow.callgraph import CallGraph
+    from repro.lint.engine import ModuleInfo
+
+__all__ = [
+    "BOTH",
+    "PARENT",
+    "WORKER",
+    "ProcessContexts",
+    "method_call_target",
+    "receiver_classes",
+    "resolve_function_ref",
+]
+
+PARENT = "parent"
+WORKER = "worker"
+BOTH = "both"
+
+#: Receiver-name fragments marking an executor/pool object -- the same
+#: heuristic ARC005 uses, so "what is a pool" has one answer repo-wide.
+_EXECUTOR_NAME_HINTS = ("pool", "executor")
+
+#: Call keywords whose value is a function that will run in another
+#: process: executor initializers and Process targets.
+_ENTRY_KEYWORDS = ("initializer", "target")
+
+
+def _names_an_executor(node: ast.AST) -> bool:
+    dotted = astutil.dotted_name(node)
+    if dotted is None:
+        return False
+    lowered = dotted.lower()
+    return any(hint in lowered for hint in _EXECUTOR_NAME_HINTS)
+
+
+def resolve_function_ref(
+    table: SymbolTable, module: "ModuleInfo", node: ast.AST
+) -> "FunctionSymbol | None":
+    """Project function a bare reference expression names, if any.
+
+    Handles local names (``_run_spec``), ``module.func`` paths and
+    import aliases -- the shapes a function travels in when passed to
+    ``submit``/``initializer=`` rather than called.
+    """
+    dotted = astutil.dotted_name(node)
+    if dotted is None:
+        return None
+    symbol = table.resolve_qualified(module, dotted)
+    if isinstance(symbol, FunctionSymbol):
+        return symbol
+    imports = table.imports[table.name_of(module)]
+    head, _, rest = dotted.partition(".")
+    origin = imports.get(head)
+    if origin is not None:
+        qualified = f"{origin}.{rest}" if rest else origin
+        symbol = table.resolve_qualified(module, qualified)
+        if isinstance(symbol, FunctionSymbol):
+            return symbol
+    return None
+
+
+def receiver_classes(
+    function: FunctionSymbol, table: SymbolTable
+) -> dict[str, ClassSymbol]:
+    """Local name -> class of the instance it holds, where provable.
+
+    Three sources, all static: annotated parameters
+    (``def load(cache: DiskCache)``), constructor assignments
+    (``cache = DiskCache(root)``) and calls whose callee's return
+    annotation names a class (``cache = active_cache()`` through
+    ``-> "DiskCache | None"``).
+    """
+    out: dict[str, ClassSymbol] = {}
+    module = function.module
+    args = function.node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg == "self":
+            continue
+        cls = table.resolve_class_name(module, annotation_name(arg.annotation))
+        if cls is not None:
+            out[arg.arg] = cls
+    for node in ast.walk(function.node):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)):
+            continue
+        symbol = table.resolve_call(module, node.value)
+        cls = None
+        if isinstance(symbol, ClassSymbol):
+            cls = symbol
+        elif isinstance(symbol, FunctionSymbol):
+            cls = table.resolve_class_name(
+                symbol.module, annotation_name(symbol.node.returns)
+            )
+        if cls is not None:
+            out[node.targets[0].id] = cls
+    return out
+
+
+def method_call_target(
+    call: ast.Call, receivers: dict[str, ClassSymbol]
+) -> "FunctionSymbol | None":
+    """Method a ``var.method(...)`` call resolves to via *receivers*."""
+    if (isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)):
+        cls = receivers.get(call.func.value.id)
+        if cls is not None:
+            return cls.methods.get(call.func.attr)
+    return None
+
+
+class ProcessContexts:
+    """Parent/worker/both classification of every project function."""
+
+    def __init__(self, table: SymbolTable, graph: "CallGraph", config):
+        self.table = table
+        self.graph = graph
+        self.config = config
+        #: qname -> callee qnames (call graph + constructor/method edges).
+        self.edges: dict[str, set[str]] = {}
+        #: qname -> human-readable reason it is a worker entry.
+        self.worker_entries: dict[str, str] = {}
+        self._build_edges()
+        self._scan_entries()
+        self.worker_set = self._closure(set(self.worker_entries))
+        incoming: set[str] = set()
+        for callees in self.edges.values():
+            incoming.update(callees)
+        self.parent_roots = {
+            qname for qname in self.edges
+            if qname not in incoming and qname not in self.worker_entries
+        }
+        self.parent_set = self._closure(self.parent_roots)
+
+    # Construction ------------------------------------------------------ #
+
+    def _build_edges(self) -> None:
+        for function in self.table.functions():
+            targets = {
+                site.callee.qname
+                for site in self.graph.calls_from.get(function.qname, ())
+            }
+            receivers = receiver_classes(function, self.table)
+            for node in ast.walk(function.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                method = method_call_target(node, receivers)
+                if method is not None:
+                    targets.add(method.qname)
+                    continue
+                symbol = self.table.resolve_call(function.module, node)
+                if isinstance(symbol, ClassSymbol):
+                    init = symbol.methods.get("__init__")
+                    if init is not None:
+                        targets.add(init.qname)
+            self.edges[function.qname] = targets
+
+    def _scan_entries(self) -> None:
+        for name in sorted(self.table.module_names):
+            module = self.table.module_names[name]
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr == "submit"
+                        and _names_an_executor(func.value)
+                        and node.args):
+                    entry = resolve_function_ref(
+                        self.table, module, node.args[0]
+                    )
+                    if entry is not None:
+                        self.worker_entries.setdefault(
+                            entry.qname, "submitted to a worker pool"
+                        )
+                for keyword in node.keywords:
+                    if keyword.arg not in _ENTRY_KEYWORDS:
+                        continue
+                    entry = resolve_function_ref(
+                        self.table, module, keyword.value
+                    )
+                    if entry is not None:
+                        self.worker_entries.setdefault(
+                            entry.qname,
+                            f"passed as {keyword.arg}= of a process "
+                            "constructor",
+                        )
+
+    def _closure(self, roots: set[str]) -> set[str]:
+        seen = set(roots)
+        frontier = list(roots)
+        while frontier:
+            current = frontier.pop()
+            for callee in self.edges.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return seen
+
+    # Lookup ------------------------------------------------------------ #
+
+    def context_of(self, qname: str) -> str:
+        """``parent`` / ``worker`` / ``both`` for a function qname.
+
+        Functions outside both closures (only reachable through calls
+        the graph cannot resolve) default to ``parent``: the analysis
+        never *claims* worker execution without a provable path, so the
+        worker-context rules stay free of false positives.
+        """
+        in_worker = qname in self.worker_set
+        in_parent = qname in self.parent_set
+        if in_worker and in_parent:
+            return BOTH
+        if in_worker:
+            return WORKER
+        return PARENT
+
+    def worker_context(self, qname: str) -> bool:
+        """Whether *qname* can execute inside a spawn worker at all."""
+        return qname in self.worker_set

@@ -65,6 +65,41 @@ class LintConfig:
     cycle_suffixes: tuple[str, ...] = ("_cycles",)
     #: Names whose presence in a term marks a clock-domain conversion.
     clock_names: tuple[str, ...] = ("clock_ghz",)
+    #: Package directories in scope for the process-safety analyses
+    #: (ARC009-ARC012): code that runs on both sides of the spawn pool.
+    procsafety_packages: tuple[str, ...] = ("experiments",)
+    #: Module stems (filenames sans ``.py``) outside those packages that
+    #: the process-safety analyses also cover -- the obslog sink is
+    #: written from parent and workers alike.
+    procsafety_module_stems: tuple[str, ...] = ("obslog",)
+    #: Environment variables deliberately carried across the spawn
+    #: boundary (exported before pool construction, or inherited via the
+    #: OS environment snapshot); worker-context reads of any *other*
+    #: ``REPRO_*`` key are ARC011 findings.
+    spawn_carry_env: tuple[str, ...] = (
+        "REPRO_OBSLOG",
+        "REPRO_FAULTS",
+        "REPRO_CACHE_DIR",
+        "REPRO_NO_DISK_CACHE",
+        "REPRO_CACHE_SWEEP_AGE",
+        "REPRO_SANITIZE",
+        "REPRO_IOSAN_LOG",
+        "REPRO_LOG_LEVEL",
+    )
+    #: Env-key prefixes the spawn-carry discipline applies to; reads of
+    #: foreign variables (``HOME``, ``PATH``) are not ours to police.
+    env_prefixes: tuple[str, ...] = ("REPRO_",)
+    #: (identifier substring, resource class) seeds for the shared-file
+    #: escape analysis: an expression mentioning the substring is
+    #: attributed to the class, and the class then propagates through
+    #: aliases, call returns and one level of parameter passing.
+    resource_patterns: tuple[tuple[str, str], ...] = (
+        ("quarantine", "cache-quarantine"),
+        ("manifest", "manifest"),
+        ("obslog", "obslog"),
+        ("results_dir", "cache-results"),
+        ("entry_path", "cache-results"),
+    )
 
 
 class ModuleInfo:

@@ -35,6 +35,10 @@ class Rule:
     #: One-line statement of the protected invariant (shown in ``--help``
     #: style listings and the docs).
     invariant: str = ""
+    #: Rule family, surfaced as a SARIF rule property so code-scanning
+    #: dashboards can slice findings (``determinism``, ``unit-safety``,
+    #: ``process-safety``, ...).
+    category: str = "domain"
     #: Restrict the rule to modules inside these top-level packages
     #: (relative to the lint root); ``None`` means every module.
     packages: "tuple[str, ...] | None" = None

@@ -11,13 +11,17 @@ Importing this package registers every rule with
 * ``ARC006`` interprocedural unit contracts (:mod:`.interproc`)
 * ``ARC007`` event-tie determinism (:mod:`.event_ties`)
 * ``ARC008`` cache-key taint (:mod:`.cachekeys`)
+* ``ARC009``-``ARC012`` process-safety (:mod:`.concurrency`)
 
 ARC003/006/008 share one :class:`repro.lint.dataflow.DataflowAnalysis`
-per run, built lazily on first use and cached on the lint context.
+per run, built lazily on first use and cached on the lint context;
+ARC009-012 layer the process-context and shared-resource analyses on
+top of the same instance.
 """
 
 from repro.lint.rules import (
     cachekeys,
+    concurrency,
     determinism,
     event_ties,
     fingerprints,
@@ -29,6 +33,7 @@ from repro.lint.rules import (
 
 __all__ = [
     "cachekeys",
+    "concurrency",
     "determinism",
     "event_ties",
     "fingerprints",

@@ -126,6 +126,7 @@ class CacheKeyTaint(Rule):
     """Excluded fingerprint fields never steer engine behaviour."""
 
     rule_id = "ARC008"
+    category = "cache-integrity"
     invariant = (
         "every dataclass field the engine's behaviour depends on is "
         "reachable from its fingerprint enumeration; excluded fields are "

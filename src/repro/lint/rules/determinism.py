@@ -79,6 +79,7 @@ class Determinism(Rule):
     """No RNG, wall clocks, or unordered iteration in the engine."""
 
     rule_id = "ARC002"
+    category = "determinism"
     invariant = (
         "engine packages produce bit-identical results across processes: "
         "no global/unseeded RNG, no wall-clock reads, no iteration whose "

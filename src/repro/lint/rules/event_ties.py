@@ -89,6 +89,7 @@ class EventTies(Rule):
     """Tuple heap pushes end in a monotonic sequence tiebreaker."""
 
     rule_id = "ARC007"
+    category = "determinism"
     invariant = (
         "every tuple pushed onto an engine event heap carries a "
         "monotonically increasing sequence number, so equal-time events "

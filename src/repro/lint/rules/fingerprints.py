@@ -100,6 +100,7 @@ class FingerprintCompleteness(Rule):
     """Fingerprints and key schemas must cover every dataclass field."""
 
     rule_id = "ARC001"
+    category = "cache-integrity"
     needs_all_modules = True  # finalize() matches schemas to dataclasses
     invariant = (
         "every dataclass field is reachable from the fingerprint / key "

@@ -44,6 +44,7 @@ class InterprocUnits(Rule):
     """ns/cycles contracts of parameters and returns hold at call sites."""
 
     rule_id = "ARC006"
+    category = "unit-safety"
     invariant = (
         "a value tagged nanoseconds never reaches a cycles-typed "
         "parameter or return (or vice versa) without a clock conversion"

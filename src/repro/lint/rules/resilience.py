@@ -65,6 +65,7 @@ class ResilientExecution(Rule):
     """No bare ``pool.map`` or unbounded future waits in experiments."""
 
     rule_id = "ARC005"
+    category = "resilience"
     invariant = (
         "experiment execution never blocks unboundedly on a worker: no "
         "executor .map(), and every future .result()/.exception() call "

@@ -154,6 +154,7 @@ class StrategyConformance(Rule):
     """Concrete strategies implement the interface and stay cacheable."""
 
     rule_id = "ARC004"
+    category = "api-conformance"
     needs_all_modules = True  # finalize() walks inheritance + exports
     invariant = (
         "every concrete AtomicStrategy is exported, implements plan_batch, "

@@ -80,6 +80,7 @@ class UnitSafety(Rule):
     """ns- and cycle-valued expressions only meet through ``clock_ghz``."""
 
     rule_id = "ARC003"
+    category = "unit-safety"
     invariant = (
         "nanosecond-domain and cycle-domain quantities are only combined "
         "through an explicit clock conversion"

@@ -46,6 +46,7 @@ def _rule_catalog() -> list[dict]:
             "name": type(rule).__name__,
             "shortDescription": {"text": rule.invariant},
             "defaultConfiguration": {"level": rule.severity.value},
+            "properties": {"category": rule.category},
         })
     return rules
 

@@ -401,3 +401,85 @@ def test_run_scenario_round_trips_through_compare(monkeypatch):
     comparison = compare_reports(baseline, copy.deepcopy(doc),
                                  Tolerances(timing_frac=10.0))
     assert comparison.passed
+
+
+# --------------------------------------------------------------------- #
+# History collation (repro bench --history)
+# --------------------------------------------------------------------- #
+
+
+def _bench_doc(scenario, created, sha="a" * 40, dirty=False,
+               fingerprint="f" * 64, wall=100.0):
+    return {
+        "scenario": scenario,
+        "created_unix": created,
+        "git": {"sha": sha, "dirty": dirty},
+        "engine_fingerprint": fingerprint,
+        "aggregate": {
+            "wall_ms_total": wall,
+            "cells_per_sec": 10.0,
+            "peak_rss_kb": 4096,
+        },
+        "cells": [{"key": "k1"}, {"key": "k2"}],
+    }
+
+
+def test_load_reports_keeps_bench_documents_and_reports_junk(tmp_path):
+    from repro.bench import load_reports
+
+    (tmp_path / "runs" / "r1").mkdir(parents=True)
+    good = tmp_path / "runs" / "r1" / "BENCH_engine_smoke.json"
+    good.write_text(json.dumps(_bench_doc("engine_smoke", 100)))
+    (tmp_path / "broken.json").write_text("{torn")
+    (tmp_path / "list.json").write_text("[1, 2]")
+    (tmp_path / "other.json").write_text(json.dumps({"scenario": "x"}))
+    (tmp_path / "notes.txt").write_text("not json, not scanned")
+
+    documents, skipped = load_reports(tmp_path)
+    assert [doc["_source"] for doc in documents] \
+        == ["runs/r1/BENCH_engine_smoke.json"]
+    reasons = dict(item.split(": ", 1) for item in skipped)
+    assert "unreadable" in reasons["broken.json"]
+    assert reasons["list.json"] == "not a JSON object"
+    assert "missing created_unix" in reasons["other.json"]
+
+
+def test_collate_history_sorts_by_scenario_then_time(tmp_path):
+    from repro.bench import HISTORY_COLUMNS, collate_history, load_reports
+
+    docs = [
+        ("c.json", _bench_doc("engine_smoke", 300)),
+        ("a.json", _bench_doc("parallel_scaling", 100)),
+        ("b.json", _bench_doc("engine_smoke", 200, dirty=True)),
+    ]
+    for name, doc in docs:
+        (tmp_path / name).write_text(json.dumps(doc))
+    reports, skipped = load_reports(tmp_path)
+    assert skipped == []
+    rows = collate_history(reports)
+    assert [(r["scenario"], r["created_unix"]) for r in rows] == [
+        ("engine_smoke", 200), ("engine_smoke", 300),
+        ("parallel_scaling", 100),
+    ]
+    assert all(tuple(row) == HISTORY_COLUMNS for row in rows)
+    assert rows[0]["dirty"] is True
+    assert rows[0]["engine_fingerprint"] == "f" * 12  # truncated
+    assert rows[0]["cells"] == 2
+    assert rows[0]["source"] == "b.json"
+
+
+def test_collate_history_tolerates_thin_provenance():
+    from repro.bench import collate_history
+
+    doc = {
+        "scenario": "engine_smoke",
+        "created_unix": 50,
+        "aggregate": {},
+        "cells": [],
+        "_source": "thin.json",
+    }
+    [row] = collate_history([doc])
+    assert row["git_sha"] is None
+    assert row["engine_fingerprint"] is None
+    assert row["wall_ms_total"] is None
+    assert row["cells"] == 0

@@ -440,3 +440,119 @@ def test_worker_trace_errors_name_workload_and_spool(tmp_path,
 def test_cell_spec_identity_matches_fault_addressing(fake_registry):
     specs = plan_cells(["P1"], ["baseline"], GPUS)
     assert [spec.cell_id for spec in specs] == ["P1|3060-Sim|baseline"]
+
+
+# --------------------------------------------------------------------- #
+# Runtime cross-check of the static process-safety model (REPRO_SANITIZE)
+# --------------------------------------------------------------------- #
+
+
+def _static_write_model():
+    """(resource, protocol) pairs the lint escape analysis derives for
+    the shipped tree -- the model ARC009/ARC012 reason about."""
+    from pathlib import Path
+
+    import repro
+    from repro.lint.engine import (
+        LintConfig,
+        LintContext,
+        collect_files,
+        parse_module,
+    )
+    from repro.lint.rules.concurrency import _analyses
+
+    root = Path(repro.__file__).parent
+    modules = []
+    for path, file_root in collect_files([root]):
+        module, error = parse_module(path, file_root)
+        if error is None:
+            modules.append(module)
+    _, _, resources = _analyses(LintContext(LintConfig(), modules))
+    return {(a.resource, a.protocol) for a in resources.writes()}
+
+
+def test_iosan_observations_match_static_model(fake_registry, tmp_path,
+                                               monkeypatch):
+    """The REPRO_SANITIZE I/O shim records every shared-file access a
+    faulted parallel run performs, across parent and spawned workers;
+    folding those observations into (resource, protocol) pairs must
+    reproduce the static model exactly.  An unmodeled runtime writer
+    (analysis unsoundness) or a modeled-but-never-exercised protocol
+    both fail here."""
+    from repro.experiments import iosan
+
+    serial_baseline(tmp_path)
+    log_path = tmp_path / "iosan.jsonl"
+    obslog_path = tmp_path / "obslog.jsonl"
+    monkeypatch.setenv(iosan.SANITIZE_ENV, "1")
+    monkeypatch.setenv(iosan.IOSAN_LOG_ENV, str(log_path))
+    monkeypatch.setenv("REPRO_OBSLOG", str(obslog_path))
+    faults.configure(FaultPlan((
+        FaultSpec(cell=CORRUPT_CELL, kind="corrupt-cache", times=3),
+    )))
+    assert iosan.maybe_install(), "shim must arm when both env vars set"
+    try:
+        run_matrix_parallel(WORKLOADS, STRATEGIES, GPUS, jobs=2,
+                            policy=chaos_policy())
+        # Warm rerun quarantines the corrupt entry, exercising the
+        # quarantine resource class' atomic-rename writer too.
+        faults.configure(None)
+        clear_caches()
+        warm = run_matrix(WORKLOADS, STRATEGIES, GPUS)
+    finally:
+        iosan.uninstall()
+    assert not iosan.installed()
+    assert len(warm) == N_CELLS
+
+    cache = diskcache.active_cache()
+    assert cache.stats.quarantined == 1
+    events = iosan.read_log(log_path)
+    assert events, "armed shim must record I/O"
+    assert len({event["pid"] for event in events}) >= 2, \
+        "spawned workers must install their own shim via _worker_init"
+
+    observed = iosan.observed_protocols(
+        events, cache.root, str(obslog_path)
+    )
+    static = _static_write_model()
+    unexplained = observed - static
+    assert not unexplained, (
+        "runtime writes the static process-safety model does not "
+        f"explain (analysis unsoundness): {sorted(unexplained)}"
+    )
+    # The injected torn write is the one unsound protocol in the model
+    # (the suppressed ARC009 in faults.corrupt_entry) -- the shim must
+    # see it happen for real.
+    assert ("cache-results", iosan.PROTOCOL_RAW_WRITE) in observed
+    # And the faulted run + quarantining rerun exercise every modeled
+    # writer, so observed and static coincide exactly.
+    assert observed == static
+
+
+def test_iosan_clean_run_uses_only_sound_protocols(fake_registry, tmp_path,
+                                                   monkeypatch):
+    """Without fault injection, every recorded shared-file write follows
+    a sound protocol: the raw-write pair is the fault injector's doing,
+    not the production stack's."""
+    from repro.experiments import iosan
+
+    serial_baseline(tmp_path)
+    log_path = tmp_path / "iosan.jsonl"
+    monkeypatch.setenv(iosan.SANITIZE_ENV, "1")
+    monkeypatch.setenv(iosan.IOSAN_LOG_ENV, str(log_path))
+    assert iosan.maybe_install()
+    try:
+        run_matrix_parallel(WORKLOADS, STRATEGIES, GPUS, jobs=2,
+                            policy=chaos_policy())
+    finally:
+        iosan.uninstall()
+
+    cache = diskcache.active_cache()
+    observed = iosan.observed_protocols(
+        iosan.read_log(log_path), cache.root
+    )
+    sound = {iosan.PROTOCOL_ATOMIC_RENAME, iosan.PROTOCOL_APPEND}
+    unsound = {pair for pair in observed if pair[1] not in sound}
+    assert not unsound, f"clean run performed unsound writes: {unsound}"
+    assert ("cache-results", iosan.PROTOCOL_ATOMIC_RENAME) in observed
+    assert ("manifest", iosan.PROTOCOL_APPEND) in observed

@@ -488,3 +488,103 @@ def test_cli_log_flag_writes_obslog(small_registry, capsys, tmp_path):
     assert any(name.startswith("cache.") for name in names)
     # The sink does not leak past main().
     assert os.environ.get(OBSLOG_ENV) is None
+
+
+# --------------------------------------------------------------------- #
+# repro bench --history (trajectory collation)
+# --------------------------------------------------------------------- #
+
+
+def _history_doc(scenario, created, sha, dirty=False):
+    return {
+        "scenario": scenario,
+        "created_unix": created,
+        "git": {"sha": sha, "dirty": dirty},
+        "engine_fingerprint": "e" * 64,
+        "aggregate": {
+            "wall_ms_total": 1234.5,
+            "cells_per_sec": 8.0,
+            "peak_rss_kb": 2048,
+        },
+        "cells": [{"key": "k"}],
+    }
+
+
+def test_bench_history_renders_trajectory(capsys, tmp_path):
+    import json
+
+    history = tmp_path / "history"
+    (history / "run1").mkdir(parents=True)
+    (history / "run1" / "BENCH_engine_smoke.json").write_text(
+        json.dumps(_history_doc("engine_smoke", 1754000000, "abc1234def"))
+    )
+    (history / "BENCH_later.json").write_text(json.dumps(
+        _history_doc("engine_smoke", 1754100000, "fedcba98765",
+                     dirty=True)
+    ))
+    (history / "junk.json").write_text("{torn")
+
+    assert main(["bench", "--history", str(history)]) == 0
+    out = capsys.readouterr().out
+    assert "engine_smoke" in out
+    assert "abc1234de" in out  # 9-char sha
+    assert "fedcba987*" in out  # dirty marker
+    assert out.index("abc1234de") < out.index("fedcba987"), \
+        "rows must be sorted oldest-first within a scenario"
+
+
+def test_bench_history_json(capsys, tmp_path):
+    import json
+
+    history = tmp_path / "history"
+    history.mkdir()
+    (history / "BENCH_a.json").write_text(
+        json.dumps(_history_doc("engine_smoke", 100, "a" * 40))
+    )
+    (history / "junk.json").write_text("not even json")
+    assert main(["bench", "--history", str(history),
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [row["scenario"] for row in payload["rows"]] == ["engine_smoke"]
+    assert payload["rows"][0]["source"] == "BENCH_a.json"
+    assert len(payload["skipped"]) == 1
+
+
+def test_bench_history_missing_directory(capsys, tmp_path):
+    assert main(["bench", "--history", str(tmp_path / "absent")]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_bench_history_empty_directory(capsys, tmp_path):
+    history = tmp_path / "empty"
+    history.mkdir()
+    assert main(["bench", "--history", str(history)]) == 0
+    assert "no BENCH documents" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- #
+# repro cache (sweep reporting)
+# --------------------------------------------------------------------- #
+
+
+def test_cache_reports_sweeps_and_tuning_knob(capsys, tmp_path,
+                                              monkeypatch):
+    import os
+    import time
+
+    from repro.experiments import diskcache
+
+    root = tmp_path / "cache"
+    cache = diskcache.configure(root=root, enabled=True)
+    shard = root / "results" / "ab"
+    shard.mkdir(parents=True)
+    orphan = shard / ".deadbeef-stale.tmp"
+    orphan.write_text("abandoned")
+    ancient = time.time() - 2 * diskcache.sweep_age_seconds()
+    os.utime(orphan, (ancient, ancient))
+    diskcache.configure(root=root, enabled=True)  # reopen sweeps
+
+    assert main(["cache"]) == 0
+    out = capsys.readouterr().out
+    assert "swept: 1 orphaned writer temp file(s)" in out
+    assert diskcache.SWEEP_AGE_ENV in out

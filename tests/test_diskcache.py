@@ -336,6 +336,35 @@ def test_open_sweeps_only_abandoned_temp_files(tmp_path):
     assert reopened.load(base_key()) is not None  # entries untouched
 
 
+def test_sweep_age_is_tunable_via_env(tmp_path, monkeypatch):
+    monkeypatch.delenv(diskcache.SWEEP_AGE_ENV, raising=False)
+    default = diskcache._TEMP_ORPHAN_AGE_SECONDS
+    assert diskcache.sweep_age_seconds() == default
+    monkeypatch.setenv(diskcache.SWEEP_AGE_ENV, "60")
+    assert diskcache.sweep_age_seconds() == 60.0
+    # Nonsense and negative values fall back to the default rather than
+    # making the sweeper eat live writers' temp files.
+    monkeypatch.setenv(diskcache.SWEEP_AGE_ENV, "-5")
+    assert diskcache.sweep_age_seconds() == default
+    monkeypatch.setenv(diskcache.SWEEP_AGE_ENV, "soon")
+    assert diskcache.sweep_age_seconds() == default
+
+    # A short sweep age reclaims an orphan the default would spare.
+    cache = DiskCache(tmp_path)
+    cache.store(base_key(), simulated_result())
+    shard = cache.entry_path(base_key()).parent
+    orphan = shard / ".deadbeef-orphan.tmp"
+    orphan.write_text("recently abandoned")
+    recent = time.time() - 120
+    os.utime(orphan, (recent, recent))
+    assert DiskCache(tmp_path).swept_temp_files == 0, \
+        "120s-old temp survives the default hour-long sweep age"
+    monkeypatch.setenv(diskcache.SWEEP_AGE_ENV, "60")
+    reopened = DiskCache(tmp_path)
+    assert reopened.swept_temp_files == 1
+    assert not orphan.exists()
+
+
 def test_get_result_survives_corruption(monkeypatch):
     calls = []
     real = runner.simulate_kernel
