@@ -11,6 +11,9 @@ Thin wrappers over the library for the common one-off questions:
 * ``tune``       -- balancing-threshold sweep (§5.5.3 / Figure 23).
 * ``bench``      -- run a named benchmark scenario, write its
   ``BENCH_<scenario>.json``, optionally diff against a baseline.
+* ``serve``      -- run the simulation service daemon (or query a
+  running one with ``--status`` / ``--stop``).
+* ``request``    -- submit one simulation request to a running daemon.
 * ``cache``      -- inspect or clear the persistent simulation cache.
 * ``lint``       -- arclint domain-invariant static analysis (ARC001-12).
 
@@ -252,6 +255,87 @@ def _build_parser() -> argparse.ArgumentParser:
              "comparison under 'comparison' when --compare is given)",
     )
     _add_observability_args(bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation service daemon on a unix socket "
+             "(--status / --stop talk to a running one)",
+    )
+    serve.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="unix socket path (default: REPRO_SERVICE_SOCKET or a "
+             "per-user path under the temp dir)",
+    )
+    serve.add_argument(
+        "--jobs", "-j", type=_positive_int, default=None, metavar="N",
+        help="worker processes in the persistent pool "
+             "(default: REPRO_JOBS or 2)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=_positive_int, default=16, metavar="N",
+        help="admission queue bound; requests beyond it are shed or "
+             "served stale (default: 16)",
+    )
+    serve.add_argument(
+        "--concurrency", type=_positive_int, default=None, metavar="N",
+        help="concurrent dispatches from the queue (default: --jobs)",
+    )
+    serve.add_argument(
+        "--no-degrade", action="store_true",
+        help="shed saturated requests instead of serving stale results",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=_positive_int, default=3, metavar="N",
+        help="consecutive pool failures that trip the circuit breaker "
+             "(default: 3)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt cell timeout (default: REPRO_CELL_TIMEOUT)",
+    )
+    serve.add_argument(
+        "--status", action="store_true",
+        help="print a running daemon's snapshot and exit",
+    )
+    serve.add_argument(
+        "--stop", action="store_true",
+        help="ask a running daemon to drain and shut down, then exit",
+    )
+    serve.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="--status output format (default: text)",
+    )
+    _add_observability_args(serve)
+
+    request = sub.add_parser(
+        "request",
+        help="submit one simulation request to a running `repro serve` "
+             "daemon",
+    )
+    _add_workload_arg(request)
+    _add_gpu_arg(request)
+    request.add_argument(
+        "--strategy", "-s", default="baseline", metavar="NAME",
+        help="strategy to simulate (default: baseline)",
+    )
+    request.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="daemon socket path (default: REPRO_SERVICE_SOCKET or the "
+             "per-user default)",
+    )
+    request.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="fail the request (exit 4) if no result arrives in time",
+    )
+    request.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="client-side socket timeout (default: 300)",
+    )
+    request.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    _add_observability_args(request)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent simulation cache"
@@ -717,6 +801,15 @@ def _cmd_bench(args) -> int:
             aggregate["parallel"]["jobs"],
             aggregate["parallel"]["bit_identical"],
         )
+    if aggregate.get("service") is not None:
+        svc = aggregate["service"]
+        console.info(
+            "service: %.1f req/s, p50 %.1f ms, p95 %.1f ms, "
+            "coalesced %d/%d, shed %d, bit-identical: %s",
+            svc["requests_per_sec"], svc["latency_ms_p50"],
+            svc["latency_ms_p95"], svc["coalesced"], svc["requests"],
+            svc["shed"], svc["bit_identical"],
+        )
     console.info("bench written: %s", out_path)
     if comparison is not None:
         print()
@@ -814,6 +907,121 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.service import daemon as svc_daemon
+
+    socket_path = args.socket
+    if args.status or args.stop:
+        op = "shutdown" if args.stop else "status"
+        try:
+            reply = svc_daemon.call({"op": op}, socket_path=socket_path)
+        except OSError as exc:
+            print(f"error: cannot reach daemon at "
+                  f"{svc_daemon.default_socket_path() if socket_path is None else socket_path}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        if args.stop:
+            print("daemon stopping (draining in-flight requests)")
+            return 0
+        snapshot = reply.get("snapshot", {})
+        if args.format == "json":
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+            return 0
+        stats = snapshot.get("stats", {})
+        sup = snapshot.get("supervisor", {})
+        breaker = sup.get("breaker", {})
+        print(f"session:   {snapshot.get('session')}")
+        print(f"pool:      jobs={snapshot.get('jobs')} "
+              f"restarts={sup.get('restarts', 0)}")
+        queue = snapshot.get("queue", {})
+        print(f"queue:     {queue.get('size')}/{queue.get('depth')} "
+              f"(inflight {snapshot.get('inflight')}, "
+              f"memoized {snapshot.get('memoized')})")
+        print(f"breaker:   {breaker.get('state')} "
+              f"(trips {breaker.get('trips_total', 0)})")
+        print("requests:  "
+              + " ".join(f"{k}={stats.get(k, 0)}"
+                         for k in ("requests", "admitted", "coalesced",
+                                   "memo_hits", "shed", "degraded",
+                                   "completed")))
+        return 0
+
+    import asyncio
+    from dataclasses import replace as dc_replace
+
+    from repro.experiments.parallel import default_jobs
+    from repro.experiments.resilience import RetryPolicy
+    from repro.service import Broker, CircuitBreaker, ServiceDaemon
+
+    jobs = args.jobs if args.jobs is not None else default_jobs(fallback=2)
+    policy = RetryPolicy.from_env()
+    if args.timeout is not None:
+        policy = dc_replace(policy, timeout=args.timeout)
+    broker = Broker(
+        jobs=jobs,
+        queue_depth=args.queue_depth,
+        concurrency=args.concurrency,
+        policy=policy,
+        degrade=not args.no_degrade,
+        breaker=CircuitBreaker(threshold=args.breaker_threshold),
+    )
+    daemon = ServiceDaemon(broker, socket_path=socket_path)
+    console.info("serving on %s (jobs=%d, queue depth %d); "
+                 "stop with `repro serve --stop` or Ctrl-C",
+                 daemon.socket_path, jobs, args.queue_depth)
+    asyncio.run(daemon.run())
+    return 0
+
+
+def _cmd_request(args) -> int:
+    import json
+
+    from repro.service import daemon as svc_daemon
+
+    payload = {
+        "op": "simulate",
+        "workload": args.workload,
+        "gpu": args.gpu,
+        "strategy": args.strategy,
+    }
+    if args.deadline is not None:
+        payload["deadline"] = args.deadline
+    try:
+        reply = svc_daemon.call(
+            payload, socket_path=args.socket, timeout=args.timeout
+        )
+    except OSError as exc:
+        print(f"error: cannot reach daemon at "
+              f"{svc_daemon.default_socket_path() if args.socket is None else args.socket}: "
+              f"{exc}", file=sys.stderr)
+        return 2
+    status = reply.get("status")
+    if args.format == "json":
+        print(json.dumps(reply, indent=2, sort_keys=True))
+    elif status == "ok":
+        result = reply.get("result", {})
+        line = (f"{reply.get('cell')}: "
+                f"{result.get('total_cycles', 0.0):,.0f} cycles "
+                f"(source {reply.get('source')}, "
+                f"{reply.get('latency_ms', 0.0):.1f} ms)")
+        if reply.get("coalesced"):
+            line += " [coalesced]"
+        print(line)
+        if reply.get("warning"):
+            print(f"warning: {reply['warning']}", file=sys.stderr)
+    else:
+        print(f"{status}: {reply.get('error')}", file=sys.stderr)
+    if status == "ok":
+        return 0
+    if status == "shed":
+        return 3
+    if status == "deadline":
+        return 4
+    return 1
+
+
 def _cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -893,6 +1101,8 @@ def main(argv: list[str] | None = None) -> int:
         "breakdown": lambda: _cmd_breakdown(args),
         "tune": lambda: _cmd_tune(args),
         "bench": lambda: _cmd_bench(args),
+        "serve": lambda: _cmd_serve(args),
+        "request": lambda: _cmd_request(args),
         "cache": lambda: _cmd_cache(args),
         "lint": lambda: _cmd_lint(args),
     }

@@ -15,7 +15,17 @@ failures those proofs need, at exactly chosen points:
   truncated, exercising quarantine on the next read;
 * ``interrupt``     -- a :class:`KeyboardInterrupt` is raised in the
   *parent* after the cell's result is recorded, exercising the clean
-  Ctrl-C shutdown and manifest-resume paths.
+  Ctrl-C shutdown and manifest-resume paths;
+* ``queue-full``    -- the service broker treats its admission queue as
+  saturated for the targeted cell's Nth..1st admission attempts,
+  exercising load-shedding and stale-serve degradation deterministically
+  (see :mod:`repro.service.broker`) without having to win a timing race
+  against the dispatchers.
+
+The first three double as *service-level* faults: the daemon's workers
+run the same task wrapper, so a ``crash`` spec kills a worker mid-request
+and a ``hang`` spec turns a request into a slow cell that trips the
+deadline/timeout machinery.
 
 Injection is deterministic: a fault targets one cell (by
 ``workload|gpu|strategy`` identity) and fires on attempts ``1..times``
@@ -53,11 +63,14 @@ __all__ = [
     "on_attempt",
     "on_completed",
     "planned_corruption",
+    "planned_queue_full",
 ]
 
 FAULTS_ENV = "REPRO_FAULTS"
 
-FAULT_KINDS = ("crash", "hang", "error", "corrupt-cache", "interrupt")
+FAULT_KINDS = (
+    "crash", "hang", "error", "corrupt-cache", "interrupt", "queue-full",
+)
 
 #: Worker exit status for an injected crash (distinctive in core dumps /
 #: CI logs, and never confusable with a python traceback exit).
@@ -203,6 +216,22 @@ def planned_corruption(cell: str, attempt: int) -> bool:
     plan = active_plan()
     return plan is not None and (
         plan.find(cell, "corrupt-cache", attempt) is not None
+    )
+
+
+def planned_queue_full(cell: str, arrival: int) -> bool:
+    """Whether a ``queue-full`` fault targets *cell*'s *arrival*-th
+    admission attempt.
+
+    The broker consults this at admission time, *before* checking real
+    queue occupancy: a matching spec forces the saturated path (shed or
+    stale-serve) for that admission, so chaos tests and the load
+    benchmark script exact overload counts instead of racing the
+    dispatchers into a genuinely full queue.
+    """
+    plan = active_plan()
+    return plan is not None and (
+        plan.find(cell, "queue-full", arrival) is not None
     )
 
 

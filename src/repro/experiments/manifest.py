@@ -62,6 +62,18 @@ class RunManifest:
                 cell_keys: "list[str]") -> "RunManifest":
         return cls(Path(root) / f"{run_key(cell_keys)}.jsonl")
 
+    @classmethod
+    def for_service(cls, root: "str | Path", session: str) -> "RunManifest":
+        """Journal for one service-broker session.
+
+        Unlike a matrix run, a daemon's request stream is open-ended, so
+        the journal is named by a caller-chosen *session* id rather than
+        a hash of the cell-key list.  The broker appends each completed
+        request and, after a pool crash, fulfils any journalled key
+        straight from the disk cache instead of re-executing it.
+        """
+        return cls(Path(root) / f"service-{session}.jsonl")
+
     def load(self) -> "dict[str, dict]":
         """Completed cell-key -> record; {} when absent.
 

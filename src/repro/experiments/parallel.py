@@ -129,6 +129,11 @@ def plan_cells(
 # Worker side.  Module-level state survives across tasks within one
 # worker process (spawn re-imports this module there); traces are loaded
 # from the parent's spool at most once per (worker, workload).
+#
+# The service broker (repro.service.broker) reuses this exact worker
+# surface -- _worker_init as its pool initializer, _run_spec as its task,
+# _fallback_spec for in-process degradation -- so daemon requests and
+# matrix cells execute through one code path and stay bit-identical.
 # --------------------------------------------------------------------- #
 
 _worker_trace_dir: "Path | None" = None

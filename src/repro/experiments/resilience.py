@@ -40,7 +40,7 @@ import time
 from collections import deque
 from concurrent.futures import CancelledError, FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro import obslog
 
@@ -108,6 +108,24 @@ class RetryPolicy:
             if seconds > 0:
                 kwargs["timeout"] = seconds
         return cls(**kwargs)
+
+    def clamped(self, remaining: "float | None") -> "RetryPolicy":
+        """This policy with its per-attempt timeout capped at *remaining*.
+
+        Deadline propagation: a service request that must complete within
+        *remaining* seconds cannot grant a single attempt more wall-clock
+        than that, however generous the configured cell timeout is.
+        ``None`` (no deadline) returns the policy unchanged; a
+        non-positive *remaining* clamps to a minimal positive timeout so
+        the attempt is charged a timeout instead of tripping the
+        ``RetryPolicy`` validator.
+        """
+        if remaining is None:
+            return self
+        bound = max(remaining, 1e-3)
+        if self.timeout is not None and self.timeout <= bound:
+            return self
+        return replace(self, timeout=bound)
 
     def delay(self, key: str, attempt: int) -> float:
         """Seconds to back off before retry *attempt* (>= 2) of *key*.

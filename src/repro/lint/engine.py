@@ -59,7 +59,9 @@ class LintConfig:
     engine_packages: tuple[str, ...] = ("core", "gpu", "trace")
     #: Package directories that drive experiment execution (worker
     #: pools, futures); the resilience rule scopes itself to these.
-    experiment_packages: tuple[str, ...] = ("experiments",)
+    #: The service layer drives the same pools, so it is held to the
+    #: same discipline.
+    experiment_packages: tuple[str, ...] = ("experiments", "service")
     #: Identifier suffixes marking nanosecond- and cycle-valued bindings.
     ns_suffixes: tuple[str, ...] = ("_ns", "_NS")
     cycle_suffixes: tuple[str, ...] = ("_cycles",)
@@ -67,7 +69,7 @@ class LintConfig:
     clock_names: tuple[str, ...] = ("clock_ghz",)
     #: Package directories in scope for the process-safety analyses
     #: (ARC009-ARC012): code that runs on both sides of the spawn pool.
-    procsafety_packages: tuple[str, ...] = ("experiments",)
+    procsafety_packages: tuple[str, ...] = ("experiments", "service")
     #: Module stems (filenames sans ``.py``) outside those packages that
     #: the process-safety analyses also cover -- the obslog sink is
     #: written from parent and workers alike.

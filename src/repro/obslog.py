@@ -5,11 +5,14 @@ Two complementary channels:
 * :func:`emit` -- an append-only **JSONL event stream** (one JSON object
   per line) recording what the run *did*: cell start/finish, cache
   hit/miss/write/quarantine, retry/backoff, pool restarts, manifest
-  resume decisions, and benchmark lifecycle (``bench.start`` /
+  resume decisions, benchmark lifecycle (``bench.start`` /
   ``bench.cell`` / ``bench.finish`` / ``bench.compare`` from
   :mod:`repro.bench.runner` and the ``repro bench`` CLI, so a measured
   run's provenance interleaves with the cache and cell events it
-  caused).  The sink is a file named by the ``REPRO_OBSLOG``
+  caused), and the simulation service's request lifecycle
+  (``svc.accept`` / ``svc.coalesce`` / ``svc.shed`` / ``svc.degrade`` /
+  ``svc.breaker`` and friends from :mod:`repro.service` -- the daemon's
+  only telemetry channel, one line per admission decision).  The sink is a file named by the ``REPRO_OBSLOG``
   environment variable (the CLI's ``--log`` sets it), which worker
   processes inherit across ``spawn`` -- so one run produces one stream
   no matter how many processes contributed.  Lines are written with a

@@ -1,0 +1,573 @@
+"""The request broker: admission control, coalescing, degradation.
+
+One :class:`Broker` fronts one persistent spawn worker pool with the
+robustness core of the simulation service:
+
+* **fingerprinting** -- every request is content-addressed with the PR 1
+  cache key (:func:`~repro.experiments.diskcache.result_key`), so "the
+  same simulation" is a fact about bytes, not request identity;
+* **coalescing** -- duplicate in-flight requests attach a waiter to the
+  existing execution instead of queueing again; the one result fans out
+  to every waiter.  Requests for keys that already completed this
+  session are answered from the in-memory memo without queueing at all;
+* **admission control** -- new work enters a bounded queue.  When it is
+  saturated (or a ``queue-full`` fault says to pretend it is) the
+  request is *shed* with a typed :class:`RequestShed` -- unless
+  degradation is enabled and an engine-mismatched result for the same
+  logical request (:func:`~repro.experiments.diskcache.logical_key`)
+  exists, in which case that stale result is served with a warning;
+* **deadline propagation** -- a request's remaining budget clamps the
+  per-attempt cell timeout
+  (:meth:`~repro.experiments.resilience.RetryPolicy.clamped`) and
+  expires the request typed, whether the time went to queueing or
+  execution;
+* **supervised execution** -- pool-level failures (crash, timeout) are
+  retried with the PR 3 deterministic backoff, reported to the
+  :class:`~repro.service.supervisor.PoolSupervisor` (whose breaker may
+  take the pool away), recovered from the session journal + disk cache
+  where possible, and degraded to in-process serial execution when the
+  breaker is open or retries are exhausted.  Recovery never changes
+  *what* is computed, so responses stay bit-identical to serial runs.
+
+Process-safety (ARC009-012) shapes the I/O: the broker itself performs
+**no direct writes** to any shared file.  Results reach the disk cache
+through the worker's existing atomic-rename writer, completions reach
+the session journal through :class:`~repro.experiments.manifest.
+RunManifest`'s single ``O_APPEND`` write, and telemetry flows through
+:func:`repro.obslog.emit` -- all writer sites that the static
+process-safety model already proves sound, so the runtime I/O sanitizer
+observes nothing new when the daemon runs under ``REPRO_SANITIZE=1``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+
+from repro import obslog
+from repro.experiments import diskcache, faults, parallel, runner
+from repro.experiments.manifest import RunManifest
+from repro.experiments.resilience import RetryPolicy
+from repro.gpu import SimResult
+from repro.service.request import (
+    DeadlineExceeded,
+    RequestFailed,
+    RequestShed,
+    ServiceError,
+    ServiceResponse,
+    SimRequest,
+)
+from repro.service.supervisor import CircuitBreaker, PoolSupervisor
+from repro.trace.io import save_trace
+
+__all__ = ["Broker", "BrokerStats"]
+
+
+@dataclass
+class BrokerStats:
+    """Session counters, exposed verbatim by ``repro serve --status``."""
+
+    requests: int = 0
+    admitted: int = 0
+    coalesced: int = 0
+    memo_hits: int = 0
+    shed: int = 0
+    degraded: int = 0
+    deadline_misses: int = 0
+    executions: int = 0
+    failures: int = 0
+    journal_recoveries: int = 0
+    completed: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "admitted": self.admitted,
+            "coalesced": self.coalesced,
+            "memo_hits": self.memo_hits,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "deadline_misses": self.deadline_misses,
+            "executions": self.executions,
+            "failures": self.failures,
+            "journal_recoveries": self.journal_recoveries,
+            "completed": self.completed,
+        }
+
+
+@dataclass
+class _Entry:
+    """One admitted execution: a unique key plus its attached waiters."""
+
+    spec: parallel.CellSpec
+    cell: str
+    key: str
+    logical: str
+    waiters: list = field(default_factory=list)
+    deadlines: list = field(default_factory=list)
+
+    def effective_deadline(self) -> "float | None":
+        """The most generous waiter deadline (None if any waiter has
+        none): execution keeps going as long as *someone* can still be
+        answered."""
+        if any(deadline is None for deadline in self.deadlines):
+            return None
+        return max(self.deadlines) if self.deadlines else None
+
+
+class Broker:
+    """Asyncio front door to the experiment stack (one per daemon)."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 2,
+        queue_depth: int = 16,
+        concurrency: "int | None" = None,
+        policy: "RetryPolicy | None" = None,
+        degrade: bool = True,
+        breaker: "CircuitBreaker | None" = None,
+        probe_timeout: float = 10.0,
+        clock=time.monotonic,
+        paused: bool = False,
+        session: "str | None" = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.jobs = jobs
+        self.queue_depth = queue_depth
+        self.concurrency = concurrency if concurrency is not None else jobs
+        self.policy = policy if policy is not None else RetryPolicy.from_env()
+        self.degrade_enabled = degrade
+        self.probe_timeout = probe_timeout
+        self._breaker = breaker
+        self._clock = clock
+        self._paused = paused
+        self._session = session if session is not None else f"pid{os.getpid()}"
+        self.stats = BrokerStats()
+        self._started = False
+        self._inflight: "dict[str, _Entry]" = {}
+        self._results: "dict[str, SimResult]" = {}
+        self._stale: "dict[str, tuple[str, SimResult]]" = {}
+        self._arrivals: "dict[str, int]" = {}
+        self._executions_by_key: "dict[str, int]" = {}
+        self._spooled: "set[str]" = set()
+        self._journal: "RunManifest | None" = None
+        self._journalled: "set[str]" = set()
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle
+    # ----------------------------------------------------------------- #
+
+    async def start(self) -> None:
+        """Spin up the queue, dispatchers, worker pool and journal."""
+        if self._started:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._queue: "asyncio.Queue[_Entry]" = asyncio.Queue(
+            maxsize=self.queue_depth
+        )
+        self._gate = asyncio.Event()
+        if not self._paused:
+            self._gate.set()
+        self._spool = tempfile.TemporaryDirectory(prefix="repro-svc-")
+        cache = diskcache.active_cache()
+        cache_root = str(cache.root) if cache is not None else None
+        spool_dir = self._spool.name
+
+        def pool_factory():
+            return ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=get_context("spawn"),
+                initializer=parallel._worker_init,
+                initargs=(spool_dir, cache_root, cache_root is not None),
+            )
+
+        self._supervisor = PoolSupervisor(
+            pool_factory,
+            breaker=self._breaker,
+            probe_timeout=self.probe_timeout,
+            clock=self._clock,
+        )
+        self._supervisor.start()
+        # One thread suffices for serial degradation: it exists so an
+        # in-process simulation does not stall the event loop, not for
+        # parallelism.  (Deliberately not a process pool: degradation
+        # must survive a machine that cannot spawn.)
+        self._inproc = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-svc-inproc"
+        )
+        if cache is not None:
+            self._journal = RunManifest.for_service(
+                cache.root / "manifests", self._session
+            )
+            self._journalled = set(self._journal.load())
+        self._dispatchers = [
+            self._loop.create_task(self._dispatch_loop())
+            for _ in range(max(1, self.concurrency))
+        ]
+        self._started = True
+        obslog.emit("svc.start", jobs=self.jobs, queue_depth=self.queue_depth,
+                    concurrency=self.concurrency, session=self._session,
+                    degrade=self.degrade_enabled)
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop dispatchers and the pool; optionally drain queued work."""
+        if not self._started:
+            return
+        if drain:
+            self.resume()
+            await self._queue.join()
+        for task in self._dispatchers:
+            task.cancel()
+        await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._supervisor.shutdown()
+        self._inproc.shutdown(wait=False)
+        if self._journal is not None:
+            self._journal.discard()
+        self._spool.cleanup()
+        self._started = False
+        obslog.emit("svc.stop", **self.stats.as_dict())
+
+    def pause(self) -> None:
+        """Hold dispatchers off the queue (admission keeps running)."""
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    # ----------------------------------------------------------------- #
+    # Admission
+    # ----------------------------------------------------------------- #
+
+    async def submit(self, request: SimRequest) -> ServiceResponse:
+        """Admit one request and await its result.
+
+        Everything up to the enqueue (memo lookup, coalescing, admission
+        control) happens synchronously before the first ``await``, so
+        requests submitted in order are admitted in order -- which is
+        what makes coalesce/shed counts deterministic under test.
+
+        Raises :class:`RequestShed`, :class:`DeadlineExceeded` or
+        :class:`RequestFailed`.
+        """
+        if not self._started:
+            raise ServiceError("broker is not started")
+        admitted_at = self._clock()
+        config = runner._gpu_by_name(request.gpu)
+        spec = parallel.CellSpec(request.workload, config, request.strategy)
+        cell = spec.cell_id
+        trace = runner.get_trace(request.workload)
+        strategy = runner.make_strategy(request.strategy)
+        key = diskcache.result_key(config, trace, strategy)
+        logical = diskcache.logical_key(config, trace, strategy)
+        deadline = (None if request.deadline is None
+                    else admitted_at + request.deadline)
+        self.stats.requests += 1
+        obslog.emit("svc.accept", cell=cell, key=key,
+                    deadline=request.deadline)
+
+        memo = self._results.get(key)
+        if memo is not None:
+            self.stats.memo_hits += 1
+            return self._response(cell, key, memo, "memo", admitted_at)
+
+        entry = self._inflight.get(key)
+        if entry is not None:
+            waiter = self._loop.create_future()
+            entry.waiters.append(waiter)
+            entry.deadlines.append(deadline)
+            self.stats.coalesced += 1
+            obslog.emit("svc.coalesce", cell=cell, key=key,
+                        waiters=len(entry.waiters))
+            return await self._await_waiter(
+                waiter, cell, key, request.deadline, deadline, admitted_at,
+                coalesced=True,
+            )
+
+        arrival = self._arrivals.get(cell, 0) + 1
+        self._arrivals[cell] = arrival
+        saturated = (
+            self._queue.full() or faults.planned_queue_full(cell, arrival)
+        )
+        if saturated:
+            return self._shed_or_degrade(cell, key, logical, admitted_at)
+
+        self._ensure_spooled(request.workload, trace)
+        entry = _Entry(spec=spec, cell=cell, key=key, logical=logical)
+        waiter = self._loop.create_future()
+        entry.waiters.append(waiter)
+        entry.deadlines.append(deadline)
+        self._inflight[key] = entry
+        # Cannot raise QueueFull: occupancy was checked above and no
+        # await happened since.
+        self._queue.put_nowait(entry)
+        self.stats.admitted += 1
+        return await self._await_waiter(
+            waiter, cell, key, request.deadline, deadline, admitted_at,
+            coalesced=False,
+        )
+
+    def _shed_or_degrade(self, cell: str, key: str, logical: str,
+                         admitted_at: float) -> ServiceResponse:
+        stale = self._stale.get(logical) if self.degrade_enabled else None
+        if stale is not None:
+            stale_key, result = stale
+            self.stats.degraded += 1
+            warning = (
+                "served stale: queue saturated; result computed for an "
+                f"earlier engine fingerprint (key {stale_key[:12]}...)"
+            )
+            obslog.emit("svc.degrade", cell=cell, key=key,
+                        reason="queue-full", stale_key=stale_key)
+            response = self._response(
+                cell, stale_key, result, "stale", admitted_at
+            )
+            response.stale = True
+            response.warning = warning
+            return response
+        self.stats.shed += 1
+        obslog.emit("svc.shed", cell=cell, key=key,
+                    queue_depth=self.queue_depth)
+        raise RequestShed(cell, self.queue_depth)
+
+    async def _await_waiter(self, waiter, cell: str, key: str,
+                            deadline_s: "float | None",
+                            deadline: "float | None",
+                            admitted_at: float,
+                            coalesced: bool) -> ServiceResponse:
+        timeout = (None if deadline is None
+                   else max(0.0, deadline - self._clock()))
+        try:
+            result, source = await asyncio.wait_for(waiter, timeout)
+        except asyncio.TimeoutError:
+            self.stats.deadline_misses += 1
+            obslog.emit("svc.deadline", cell=cell, deadline=deadline_s)
+            raise DeadlineExceeded(cell, deadline_s) from None
+        response = self._response(cell, key, result, source, admitted_at)
+        response.coalesced = coalesced
+        return response
+
+    def _response(self, cell: str, key: str, result: SimResult,
+                  source: str, admitted_at: float) -> ServiceResponse:
+        latency_ms = (self._clock() - admitted_at) * 1000.0
+        return ServiceResponse(
+            cell=cell, key=key, result=result, source=source,
+            latency_ms=latency_ms,
+        )
+
+    def _ensure_spooled(self, workload: str, trace) -> None:
+        if workload in self._spooled:
+            return
+        save_trace(trace, Path(self._spool.name) / f"{workload}.npz")
+        self._spooled.add(workload)
+
+    # ----------------------------------------------------------------- #
+    # Dispatch
+    # ----------------------------------------------------------------- #
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._gate.wait()
+            entry = await self._queue.get()
+            try:
+                await self._execute(entry)
+            except asyncio.CancelledError:
+                self._fail(entry, ServiceError(
+                    f"service stopped while executing cell {entry.cell}"
+                ))
+                raise
+            except Exception as exc:  # defensive: a loop must not die
+                self._fail(entry, RequestFailed(entry.cell, exc))
+            finally:
+                self._queue.task_done()
+
+    async def _execute(self, entry: _Entry) -> None:
+        last_error: "BaseException | str" = "no attempt ran"
+        for attempt in range(1, self.policy.max_attempts + 1):
+            deadline = entry.effective_deadline()
+            remaining = (None if deadline is None
+                         else deadline - self._clock())
+            if remaining is not None and remaining <= 0:
+                self.stats.deadline_misses += 1
+                obslog.emit("svc.deadline", cell=entry.cell, in_queue=True)
+                self._fail(entry, DeadlineExceeded(entry.cell, None))
+                return
+            policy = self.policy.clamped(remaining)
+            pool = await self._supervisor.acquire()
+            if pool is None:
+                await self._degrade_inproc(entry, attempt, "breaker-open")
+                return
+            self.stats.executions += 1
+            self._executions_by_key[entry.key] = (
+                self._executions_by_key.get(entry.key, 0) + 1
+            )
+            cell_future = None
+            try:
+                # submit() itself can raise: a worker crash elsewhere
+                # breaks the shared pool between acquire() and here.
+                cell_future = pool.submit(
+                    parallel._run_spec, entry.spec, attempt
+                )
+                result = await asyncio.wait_for(
+                    asyncio.wrap_future(cell_future), policy.timeout
+                )
+            except asyncio.TimeoutError:
+                cell_future.cancel()
+                self._supervisor.fail("timeout")
+                last_error = f"attempt exceeded {policy.timeout:g}s"
+                outcome = "timeout"
+            except asyncio.CancelledError:
+                if not cell_future.cancelled():
+                    raise  # our own task was cancelled (shutdown)
+                # The pool was abandoned under us by another dispatcher's
+                # failure; treat like a crash of our own future.
+                if self._recover_from_journal(entry):
+                    return
+                last_error = "pool abandoned mid-flight"
+                outcome = "crash"
+            except BrokenProcessPool as exc:
+                self._supervisor.fail("crash")
+                if self._recover_from_journal(entry):
+                    return
+                last_error = exc
+                outcome = "crash"
+            except Exception as exc:
+                if cell_future is None:
+                    # submit() failed before a future existed: the pool
+                    # was abandoned by another dispatcher's failure
+                    # ("cannot schedule new futures after shutdown") --
+                    # a pool-level incident, not a cell failure.
+                    self._supervisor.fail("crash")
+                    if self._recover_from_journal(entry):
+                        return
+                    last_error = exc
+                    outcome = "crash"
+                else:
+                    # Task-level error: the pool answered, so the
+                    # breaker sees a healthy pool even though the cell
+                    # failed.
+                    self._supervisor.ok()
+                    last_error = exc
+                    outcome = "error"
+            else:
+                self._supervisor.ok()
+                self._complete(entry, result, "worker")
+                return
+            self.stats.failures += 1
+            obslog.emit("svc.attempt", cell=entry.cell, attempt=attempt,
+                        outcome=outcome, error=repr(last_error))
+            if attempt < self.policy.max_attempts:
+                await asyncio.sleep(self.policy.delay(entry.key, attempt + 1))
+        await self._degrade_inproc(
+            entry, self.policy.max_attempts + 1, "retries-exhausted",
+            last_error,
+        )
+
+    async def _degrade_inproc(self, entry: _Entry, attempt: int,
+                              reason: str,
+                              last_error: "BaseException | str | None" = None,
+                              ) -> None:
+        """Serial in-process execution: the service's answer of last
+        resort, mirroring the resilience layer's fallback (and the
+        paper's own philosophy -- degrade, don't fail)."""
+        self.stats.degraded += 1
+        obslog.emit("svc.degrade", cell=entry.cell, reason=reason,
+                    attempt=attempt)
+        try:
+            result = await self._loop.run_in_executor(
+                self._inproc, parallel._fallback_spec, entry.spec, attempt
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.stats.failures += 1
+            self._fail(entry, RequestFailed(entry.cell, exc))
+            return
+        self._complete(entry, result, "inproc")
+
+    def _recover_from_journal(self, entry: _Entry) -> bool:
+        """After a pool crash, serve the entry from journal + disk cache
+        instead of re-executing, when a previous completion wrote both."""
+        if entry.key not in self._journalled and self._journal is not None:
+            self._journalled = set(self._journal.load())
+        if entry.key not in self._journalled:
+            return False
+        cache = diskcache.active_cache()
+        if cache is None:
+            return False
+        result = cache.load(entry.key)
+        if result is None:
+            return False
+        self.stats.journal_recoveries += 1
+        obslog.emit("svc.recover", cell=entry.cell, key=entry.key,
+                    source="journal")
+        self._complete(entry, result, "journal")
+        return True
+
+    # ----------------------------------------------------------------- #
+    # Completion
+    # ----------------------------------------------------------------- #
+
+    def _complete(self, entry: _Entry, result: SimResult,
+                  source: str) -> None:
+        self._inflight.pop(entry.key, None)
+        self._results[entry.key] = result
+        self._stale[entry.logical] = (entry.key, result)
+        runner.seed_result(
+            entry.spec.workload, entry.spec.gpu, entry.spec.strategy, result
+        )
+        if self._journal is not None:
+            self._journal.record(entry.key, {
+                "workload": entry.spec.workload,
+                "gpu": entry.spec.gpu.name,
+                "strategy": entry.spec.strategy,
+            })
+            self._journalled.add(entry.key)
+        self.stats.completed += 1
+        obslog.emit("svc.finish", cell=entry.cell, key=entry.key,
+                    source=source, waiters=len(entry.waiters))
+        for waiter in entry.waiters:
+            if not waiter.done():
+                waiter.set_result((result, source))
+
+    def _fail(self, entry: _Entry, error: ServiceError) -> None:
+        self._inflight.pop(entry.key, None)
+        obslog.emit("svc.fail", cell=entry.cell, key=entry.key,
+                    kind=getattr(error, "kind", "error"), error=str(error))
+        for waiter in entry.waiters:
+            if not waiter.done():
+                waiter.set_exception(error)
+
+    # ----------------------------------------------------------------- #
+    # Introspection
+    # ----------------------------------------------------------------- #
+
+    def executions_for(self, key: str) -> int:
+        """Pool submissions recorded for *key* (test/diagnostic hook)."""
+        return self._executions_by_key.get(key, 0)
+
+    def snapshot(self) -> dict:
+        snap = {
+            "session": self._session,
+            "jobs": self.jobs,
+            "queue": {
+                "depth": self.queue_depth,
+                "size": self._queue.qsize() if self._started else 0,
+            },
+            "inflight": len(self._inflight),
+            "memoized": len(self._results),
+            "stats": self.stats.as_dict(),
+        }
+        if self._started:
+            snap["supervisor"] = self._supervisor.snapshot()
+        return snap

@@ -1,0 +1,131 @@
+"""Typed request/response surface of the simulation service.
+
+A :class:`SimRequest` names *what* to simulate (workload, GPU, strategy
+-- the same coordinates as one experiment-matrix cell) plus *how urgent*
+it is (an optional deadline).  The broker answers with a
+:class:`ServiceResponse` carrying the :class:`~repro.gpu.stats.SimResult`
+and its provenance, or raises one of the typed :class:`ServiceError`
+rejections so callers can tell "the service refused" (shed, deadline)
+apart from "the simulation failed" without parsing strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu import GPUConfig, SimResult
+
+__all__ = [
+    "DeadlineExceeded",
+    "RequestFailed",
+    "RequestShed",
+    "ServiceError",
+    "ServiceResponse",
+    "SimRequest",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base of the broker's typed rejections (``kind`` names the class)."""
+
+    kind = "error"
+
+
+class RequestShed(ServiceError):
+    """Admission control rejected the request: the queue is saturated and
+    no stale result was available to degrade to."""
+
+    kind = "shed"
+
+    def __init__(self, cell: str, queue_depth: int):
+        super().__init__(
+            f"request for cell {cell} shed: admission queue "
+            f"(depth {queue_depth}) is saturated and no stale result is "
+            "available to serve degraded"
+        )
+        self.cell = cell
+        self.queue_depth = queue_depth
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline expired before a result was produced."""
+
+    kind = "deadline"
+
+    def __init__(self, cell: str, deadline: "float | None"):
+        super().__init__(
+            f"request for cell {cell} missed its deadline"
+            + (f" of {deadline:g}s" if deadline is not None else "")
+        )
+        self.cell = cell
+        self.deadline = deadline
+
+
+class RequestFailed(ServiceError):
+    """Every execution avenue (retries, fallback) failed for the request."""
+
+    kind = "failed"
+
+    def __init__(self, cell: str, cause: "BaseException | str"):
+        super().__init__(
+            f"request for cell {cell} failed terminally: {cause!r}"
+        )
+        self.cell = cell
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One simulation request: a matrix cell plus an optional deadline.
+
+    ``deadline`` is relative wall-clock seconds from admission; the
+    broker propagates the remaining budget into the per-attempt cell
+    timeout (:meth:`~repro.experiments.resilience.RetryPolicy.clamped`)
+    and fails the request typed (:class:`DeadlineExceeded`) once it is
+    spent -- whether the time went to queueing or to execution.
+    """
+
+    workload: str
+    gpu: "str | GPUConfig"
+    strategy: str
+    deadline: "float | None" = None
+
+    def __post_init__(self):
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive seconds (or None)")
+
+
+@dataclass
+class ServiceResponse:
+    """A fulfilled request: the result plus how it was produced.
+
+    ``source`` is where the bytes came from: ``"worker"`` (pool
+    execution), ``"inproc"`` (serial degradation -- breaker open or
+    retries exhausted), ``"memo"`` (an earlier request for the same key
+    completed), ``"journal"`` (recovered from the session journal + disk
+    cache after a pool crash) or ``"stale"`` (an engine-mismatched result
+    served under load shedding).  ``coalesced`` marks responses that
+    piggybacked on another request's execution; ``stale`` responses
+    always carry a ``warning``.
+    """
+
+    cell: str
+    key: str
+    result: SimResult
+    source: str
+    coalesced: bool = False
+    stale: bool = False
+    warning: "str | None" = None
+    latency_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "cell": self.cell,
+            "key": self.key,
+            "source": self.source,
+            "coalesced": self.coalesced,
+            "stale": self.stale,
+            "warning": self.warning,
+            "latency_ms": self.latency_ms,
+            "result": self.result.to_dict(),
+        }

@@ -317,7 +317,9 @@ def test_bench_list_json(capsys):
     doc = json.loads(capsys.readouterr().out)
     assert sorted(doc) == scenario_names()
     for entry in doc.values():
-        assert entry["mode"] in ("engine", "telemetry", "cache", "parallel")
+        assert entry["mode"] in (
+            "engine", "telemetry", "cache", "parallel", "service",
+        )
         assert isinstance(entry["cells"], int)
 
 

@@ -1,0 +1,643 @@
+"""Chaos suite for the simulation service (broker/supervisor/daemon).
+
+The service's contract extends the execution layer's: admission
+decisions (coalesce, shed, degrade) are *deterministic* under ordered
+submission, and no recovery or degradation path may ever change what a
+request computes.  The acceptance proofs:
+
+* **coalescing fan-out** -- N duplicate in-flight requests produce
+  exactly one execution whose result fans out to every waiter,
+  bit-identical to a clean serial run;
+* **typed load-shedding** -- a saturated (or fault-saturated) queue
+  rejects with :class:`RequestShed`, visible in the obslog, and the
+  request is admittable again afterwards;
+* **graceful degradation** -- a saturated queue serves a stale
+  logical-key match with a warning instead of shedding, and an open
+  circuit breaker degrades execution to in-process serial;
+* **breaker determinism** -- the closed -> open -> half-open -> closed
+  cycle is walked deterministically by a fake clock in-unit and by
+  crash faults end to end;
+* **journal recovery** -- a pool crash re-serves journaled completions
+  from the disk cache without re-executing;
+* **the load proof** -- >= 1000 requests (>97% duplicates) complete
+  bit-identical to serial while planned faults crash workers, hang a
+  cell past its timeout and saturate the queue;
+* **iosan cross-check** -- a REPRO_SANITIZE=1 service run performs no
+  shared-file write the static ARC009-012 model does not explain.
+
+Pool-driving tests spawn real worker processes; paused-broker admission
+tests and the state-machine units stay in-process and cheap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.experiments import diskcache, faults, runner
+from repro.experiments.faults import FaultPlan, FaultSpec
+from repro.experiments.manifest import RunManifest
+from repro.experiments.resilience import RetryPolicy
+from repro.experiments.runner import clear_caches, run_matrix, simulate_cell
+from repro.gpu import SIMULATED_GPUS
+from repro.obslog import read_events
+from repro.service import (
+    Broker,
+    CircuitBreaker,
+    DeadlineExceeded,
+    RequestShed,
+    SimRequest,
+)
+from repro.trace import coalesced_trace, scattered_trace
+
+GPUS = ["3060-Sim"]
+
+
+class FakeWorkload:
+    """Deterministic synthetic stand-in, sized for service-test speed.
+
+    Each fake needs its own seed: request fingerprints are *content*
+    addresses, so two workloads with byte-identical traces are the same
+    simulation to the broker (its memo would answer the second one).
+    """
+
+    def __init__(self, key, seed, bfly=True):
+        self.key = key
+        self._seed = seed
+        self._bfly = bfly
+
+    def capture_trace(self):
+        factory = coalesced_trace if self._bfly else scattered_trace
+        return factory(n_batches=150, num_params=4, seed=self._seed,
+                       name=self.key)
+
+
+FAKES = {
+    "S1": FakeWorkload("S1", seed=13),
+    "S2": FakeWorkload("S2", seed=14, bfly=False),
+    "S3": FakeWorkload("S3", seed=15),
+    "S4": FakeWorkload("S4", seed=16, bfly=False),
+}
+
+
+@pytest.fixture
+def fake_registry(monkeypatch):
+    monkeypatch.setattr(runner, "load_workload", lambda key: FAKES[key])
+    return FAKES
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_plan():
+    faults.configure(None)
+    yield
+    faults.configure(None)
+
+
+@pytest.fixture
+def obslog_sink(tmp_path, monkeypatch):
+    path = tmp_path / "svc-obslog.jsonl"
+    monkeypatch.setenv("REPRO_OBSLOG", str(path))
+    return path
+
+
+def fast_policy(timeout=None, attempts=3):
+    return RetryPolicy(
+        max_attempts=attempts, timeout=timeout,
+        backoff_base=0.01, backoff_max=0.05,
+    )
+
+
+def serial_truth(tmp_path, workloads, strategies):
+    """Clean uncached serial results; leaves a fresh enabled cache."""
+    diskcache.configure(enabled=False)
+    serial = run_matrix(workloads, strategies, GPUS)
+    clear_caches()
+    diskcache.configure(root=tmp_path / "svc-cache", enabled=True)
+    return {
+        (c.workload, c.gpu, c.strategy): c.result.to_dict() for c in serial
+    }
+
+
+def events_named(path, name):
+    return [e for e in read_events(path) if e["event"] == name]
+
+
+async def ordered_burst(broker, requests):
+    """Submit *requests* in order against a paused broker, then run.
+
+    One scheduler pass admits every request (submission is synchronous
+    to its first await) before ``resume`` lets dispatchers at the queue,
+    so coalesce/shed arithmetic is exact.
+    """
+    await broker.start()
+    try:
+        tasks = [
+            asyncio.ensure_future(broker.submit(request))
+            for request in requests
+        ]
+        await asyncio.sleep(0)
+        broker.resume()
+        return await asyncio.gather(*tasks, return_exceptions=True)
+    finally:
+        await broker.stop()
+
+
+# --------------------------------------------------------------------- #
+# Coalescing and memoization
+# --------------------------------------------------------------------- #
+
+
+def test_coalescing_fans_out_single_execution(fake_registry, tmp_path,
+                                              obslog_sink):
+    """Six duplicate requests: one admission, one pool execution, six
+    bit-identical responses."""
+    truth = serial_truth(tmp_path, ["S1"], ["baseline"])
+    broker = Broker(jobs=2, paused=True, policy=fast_policy(),
+                    session="coalesce")
+    requests = [
+        SimRequest(workload="S1", gpu="3060-Sim", strategy="baseline")
+        for _ in range(6)
+    ]
+    responses = asyncio.run(ordered_burst(broker, requests))
+
+    expected = truth[("S1", "3060-Sim", "baseline")]
+    assert [r.result.to_dict() for r in responses] == [expected] * 6
+    assert responses[0].coalesced is False
+    assert all(r.coalesced for r in responses[1:])
+    assert broker.stats.admitted == 1
+    assert broker.stats.coalesced == 5
+    assert broker.stats.executions == 1
+    assert broker.executions_for(responses[0].key) == 1
+    coalesce_events = events_named(obslog_sink, "svc.coalesce")
+    assert len(coalesce_events) == 5
+    [finish] = events_named(obslog_sink, "svc.finish")
+    assert finish["waiters"] == 6
+    assert finish["source"] == "worker"
+
+
+def test_completed_request_answers_from_memo(fake_registry, tmp_path):
+    serial_truth(tmp_path, ["S1"], ["baseline"])
+    request = SimRequest(workload="S1", gpu="3060-Sim",
+                         strategy="baseline")
+
+    async def scenario(broker):
+        await broker.start()
+        try:
+            first = await broker.submit(request)
+            second = await broker.submit(request)
+            return first, second
+        finally:
+            await broker.stop()
+
+    broker = Broker(jobs=1, policy=fast_policy(), session="memo")
+    first, second = asyncio.run(scenario(broker))
+    assert first.source == "worker"
+    assert second.source == "memo"
+    assert second.result.to_dict() == first.result.to_dict()
+    assert broker.stats.memo_hits == 1
+    assert broker.stats.executions == 1
+
+
+# --------------------------------------------------------------------- #
+# Admission control: shedding, stale-serve, deadlines
+# --------------------------------------------------------------------- #
+
+
+def test_queue_full_fault_sheds_typed_then_readmits(fake_registry,
+                                                    tmp_path, obslog_sink):
+    """A planned queue-full saturation sheds with the typed rejection;
+    the same cell is admittable on its next arrival."""
+    truth = serial_truth(tmp_path, ["S1"], ["baseline"])
+    faults.configure(FaultPlan((
+        FaultSpec(cell="S1|3060-Sim|baseline", kind="queue-full", times=1),
+    )))
+    request = SimRequest(workload="S1", gpu="3060-Sim",
+                         strategy="baseline")
+
+    async def scenario(broker):
+        await broker.start()
+        try:
+            with pytest.raises(RequestShed) as shed:
+                await broker.submit(request)
+            assert shed.value.kind == "shed"
+            return await broker.submit(request)
+        finally:
+            await broker.stop()
+
+    broker = Broker(jobs=1, policy=fast_policy(), session="shed")
+    response = asyncio.run(scenario(broker))
+    assert response.result.to_dict() == truth[("S1", "3060-Sim",
+                                               "baseline")]
+    assert broker.stats.shed == 1
+    assert broker.stats.admitted == 1
+    [shed_event] = events_named(obslog_sink, "svc.shed")
+    assert shed_event["cell"] == "S1|3060-Sim|baseline"
+
+
+def test_real_queue_saturation_sheds(fake_registry, tmp_path):
+    """depth-1 queue, two distinct admissions while paused: the second
+    is shed by genuine occupancy, not a fault."""
+    serial_truth(tmp_path, ["S1", "S2"], ["baseline"])
+    broker = Broker(jobs=1, queue_depth=1, paused=True,
+                    policy=fast_policy(), session="saturate")
+    responses = asyncio.run(ordered_burst(broker, [
+        SimRequest(workload="S1", gpu="3060-Sim", strategy="baseline"),
+        SimRequest(workload="S2", gpu="3060-Sim", strategy="baseline"),
+    ]))
+    assert responses[0].source == "worker"
+    assert isinstance(responses[1], RequestShed)
+    assert broker.stats.shed == 1
+
+
+def test_saturated_queue_serves_stale_with_warning(fake_registry, tmp_path,
+                                                   monkeypatch,
+                                                   obslog_sink):
+    """After an engine change, a saturated queue degrades to the stale
+    logical-key match instead of shedding -- flagged, never silent."""
+    serial_truth(tmp_path, ["S1"], ["baseline"])
+    request = SimRequest(workload="S1", gpu="3060-Sim",
+                         strategy="baseline")
+
+    async def scenario(broker):
+        await broker.start()
+        try:
+            fresh = await broker.submit(request)
+            # The engine "changes": result keys diverge, the logical
+            # key (engine-agnostic) still matches the completed run.
+            monkeypatch.setattr(
+                diskcache, "engine_fingerprint", lambda: "engine-v-next"
+            )
+            faults.configure(FaultPlan((
+                FaultSpec(cell="S1|3060-Sim|baseline", kind="queue-full",
+                          times=10),
+            )))
+            stale = await broker.submit(request)
+            return fresh, stale
+        finally:
+            await broker.stop()
+
+    broker = Broker(jobs=1, policy=fast_policy(), session="stale")
+    fresh, stale = asyncio.run(scenario(broker))
+    assert stale.source == "stale"
+    assert stale.stale is True
+    assert stale.warning and "stale" in stale.warning
+    assert stale.result.to_dict() == fresh.result.to_dict()
+    assert broker.stats.degraded == 1
+    assert broker.stats.shed == 0
+    [degrade] = events_named(obslog_sink, "svc.degrade")
+    assert degrade["reason"] == "queue-full"
+
+
+def test_degradation_can_be_disabled(fake_registry, tmp_path, monkeypatch):
+    """--no-degrade semantics: with degradation off the same saturation
+    sheds even though a stale result exists."""
+    serial_truth(tmp_path, ["S1"], ["baseline"])
+    request = SimRequest(workload="S1", gpu="3060-Sim",
+                         strategy="baseline")
+
+    async def scenario(broker):
+        await broker.start()
+        try:
+            await broker.submit(request)
+            monkeypatch.setattr(
+                diskcache, "engine_fingerprint", lambda: "engine-v-next"
+            )
+            faults.configure(FaultPlan((
+                FaultSpec(cell="S1|3060-Sim|baseline", kind="queue-full",
+                          times=10),
+            )))
+            with pytest.raises(RequestShed):
+                await broker.submit(request)
+        finally:
+            await broker.stop()
+
+    broker = Broker(jobs=1, policy=fast_policy(), degrade=False,
+                    session="nodegrade")
+    asyncio.run(scenario(broker))
+    assert broker.stats.shed == 1
+    assert broker.stats.degraded == 0
+
+
+def test_deadline_expires_typed_while_queued(fake_registry, tmp_path,
+                                             obslog_sink):
+    """A paused broker never dispatches: the deadline expires in-queue
+    and the waiter gets the typed rejection."""
+    serial_truth(tmp_path, ["S1"], ["baseline"])
+    request = SimRequest(workload="S1", gpu="3060-Sim",
+                         strategy="baseline", deadline=0.15)
+
+    async def scenario(broker):
+        await broker.start()
+        try:
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                await broker.submit(request)
+            assert excinfo.value.kind == "deadline"
+        finally:
+            await broker.stop(drain=False)
+
+    broker = Broker(jobs=1, paused=True, policy=fast_policy(),
+                    session="deadline")
+    asyncio.run(scenario(broker))
+    assert broker.stats.deadline_misses >= 1
+    assert events_named(obslog_sink, "svc.deadline")
+
+
+def test_sim_request_rejects_nonpositive_deadline():
+    with pytest.raises(ValueError):
+        SimRequest(workload="S1", gpu="3060-Sim", strategy="baseline",
+                   deadline=0.0)
+
+
+# --------------------------------------------------------------------- #
+# Circuit breaker and pool supervision
+# --------------------------------------------------------------------- #
+
+
+def test_circuit_breaker_state_machine():
+    """closed -> open at the threshold, half-open when the backoff is
+    spent, doubled backoff on a failed probe, full reset on success --
+    all on a fake clock."""
+    now = [0.0]
+    breaker = CircuitBreaker(threshold=2, backoff_base=1.0,
+                             backoff_factor=2.0, backoff_max=8.0,
+                             clock=lambda: now[0])
+    assert breaker.state == "closed"
+    assert breaker.record_failure() is False
+    assert breaker.state == "closed"
+    assert breaker.record_failure() is True
+    assert breaker.state == "open"
+    assert breaker.open_backoff == 1.0
+    now[0] = 0.99
+    assert breaker.state == "open"
+    now[0] = 1.0
+    assert breaker.state == "half-open"
+    # A failed half-open probe renews the trip with a doubled backoff.
+    assert breaker.record_failure() is True
+    assert breaker.open_backoff == 2.0
+    assert breaker.state == "open"
+    now[0] = 3.0
+    assert breaker.state == "half-open"
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.trips_total == 2
+    # Healing resets the exponential series, not just the state.
+    breaker.record_failure()
+    assert breaker.record_failure() is True
+    assert breaker.open_backoff == 1.0
+    # And the backoff is capped.
+    for _ in range(10):
+        breaker.record_failure()
+    assert breaker.open_backoff == 8.0
+
+
+def test_retry_policy_deadline_clamping():
+    policy = RetryPolicy(max_attempts=2, timeout=10.0)
+    assert policy.clamped(None) is policy
+    assert policy.clamped(3.0).timeout == 3.0
+    # A tighter own timeout wins over a looser remaining budget.
+    assert policy.clamped(60.0) is policy
+    # A spent budget still leaves a positive (minimal) timeout.
+    assert RetryPolicy(timeout=None).clamped(-1.0).timeout == 1e-3
+
+
+def test_breaker_trips_half_opens_and_heals(fake_registry, tmp_path,
+                                            obslog_sink):
+    """Crash faults trip the breaker deterministically; requests degrade
+    in-process while it is open; the half-open probe heals it and
+    execution returns to the pool.  Every response stays correct."""
+    truth = serial_truth(tmp_path, ["S1", "S2", "S3"], ["baseline"])
+    faults.configure(FaultPlan((
+        FaultSpec(cell="S1|3060-Sim|baseline", kind="crash", times=3),
+    )))
+
+    async def scenario(broker):
+        await broker.start()
+        try:
+            crashed = await broker.submit(SimRequest(
+                workload="S1", gpu="3060-Sim", strategy="baseline"
+            ))
+            opened = broker.snapshot()["supervisor"]["breaker"]
+            while_open = await broker.submit(SimRequest(
+                workload="S2", gpu="3060-Sim", strategy="baseline"
+            ))
+            await asyncio.sleep(2.2)  # let the open backoff expire
+            healed = await broker.submit(SimRequest(
+                workload="S3", gpu="3060-Sim", strategy="baseline"
+            ))
+            closed = broker.snapshot()["supervisor"]["breaker"]
+            return crashed, opened, while_open, healed, closed
+        finally:
+            await broker.stop()
+
+    broker = Broker(
+        jobs=1, concurrency=1, policy=fast_policy(attempts=2),
+        breaker=CircuitBreaker(threshold=2, backoff_base=2.0),
+        session="breaker",
+    )
+    crashed, opened, while_open, healed, closed = asyncio.run(
+        scenario(broker)
+    )
+
+    # Both worker attempts crashed -> trip -> in-process degradation.
+    assert crashed.source == "inproc"
+    assert opened["state"] in ("open", "half-open")
+    assert opened["trips_total"] == 1
+    assert while_open.source == "inproc"
+    # The probe healed the breaker; execution is back on the pool.
+    assert healed.source == "worker"
+    assert closed["state"] == "closed"
+
+    for response, workload in ((crashed, "S1"), (while_open, "S2"),
+                               (healed, "S3")):
+        assert response.result.to_dict() == truth[
+            (workload, "3060-Sim", "baseline")
+        ], f"degraded path changed the result of {workload}"
+
+    states = [e["state"] for e in events_named(obslog_sink, "svc.breaker")]
+    assert "open" in states
+    opened_at = states.index("open")
+    assert "half-open" in states[opened_at:]
+    assert "closed" in states[states.index("half-open", opened_at):]
+    degrade_reasons = {
+        e["reason"] for e in events_named(obslog_sink, "svc.degrade")
+    }
+    assert "retries-exhausted" in degrade_reasons
+    assert "breaker-open" in degrade_reasons
+
+
+def test_crash_recovers_journaled_completion_without_reexecuting(
+        fake_registry, tmp_path, obslog_sink):
+    """A pre-seeded session journal + disk cache answer a crashed
+    request from persisted state: zero successful pool executions."""
+    serial_truth(tmp_path, ["S1"], ["baseline"])
+    cache = diskcache.active_cache()
+    config = SIMULATED_GPUS["3060-Sim"]
+    trace = runner.get_trace("S1")
+    strategy = runner.make_strategy("baseline")
+    persisted = simulate_cell(trace, config, strategy)  # stores on disk
+    key = diskcache.result_key(config, trace, strategy)
+    journal = RunManifest.for_service(cache.root / "manifests", "recov")
+    journal.record(key, {"workload": "S1", "gpu": "3060-Sim",
+                         "strategy": "baseline"})
+    faults.configure(FaultPlan((
+        FaultSpec(cell="S1|3060-Sim|baseline", kind="crash", times=10),
+    )))
+
+    async def scenario(broker):
+        await broker.start()
+        try:
+            return await broker.submit(SimRequest(
+                workload="S1", gpu="3060-Sim", strategy="baseline"
+            ))
+        finally:
+            await broker.stop()
+
+    broker = Broker(jobs=1, policy=fast_policy(), session="recov")
+    response = asyncio.run(scenario(broker))
+    assert response.source == "journal"
+    assert response.result.to_dict() == persisted.to_dict()
+    assert broker.stats.journal_recoveries == 1
+    assert broker.executions_for(key) == 1, \
+        "recovery must happen on the first crash, not after retries"
+    [recover] = events_named(obslog_sink, "svc.recover")
+    assert recover["key"] == key
+
+
+# --------------------------------------------------------------------- #
+# The load proof
+# --------------------------------------------------------------------- #
+
+
+def test_service_load_is_bit_identical_under_chaos(fake_registry,
+                                                   tmp_path, obslog_sink):
+    """>= 1000 requests, > 97% duplicates, while a worker crash, a hang
+    past the cell timeout and queue saturation (planned and real) all
+    fire: every response is bit-identical to clean serial, each unique
+    cell completes exactly once, and shed/degrade are observable."""
+    workloads = ["S1", "S2", "S3", "S4"]
+    strategies = ["baseline", "ARC-HW"]
+    truth = serial_truth(tmp_path, workloads, strategies)
+    cells = [(w, s) for w in workloads for s in strategies]
+    requests = [
+        SimRequest(workload=cells[i % len(cells)][0], gpu="3060-Sim",
+                   strategy=cells[i % len(cells)][1])
+        for i in range(1000)
+    ]
+    faults.configure(FaultPlan((
+        FaultSpec(cell="S1|3060-Sim|baseline", kind="crash", times=2),
+        FaultSpec(cell="S2|3060-Sim|baseline", kind="hang", times=1,
+                  seconds=30.0),
+        FaultSpec(cell="S3|3060-Sim|baseline", kind="queue-full", times=1),
+    )))
+
+    async def resilient_submit(broker, request):
+        # Generous budget (~2 min): early arrivals can be shed for as
+        # long as the depth-4 queue stays saturated while the faulted
+        # pool respawns, which on a loaded machine takes many rounds.
+        # The loop exits on first success, so healthy runs never pay it.
+        for _ in range(2400):
+            try:
+                return await broker.submit(request)
+            except RequestShed:
+                await asyncio.sleep(0.05)
+        raise AssertionError(f"{request.workload} shed forever")
+
+    async def scenario(broker):
+        await broker.start()
+        try:
+            tasks = [
+                asyncio.ensure_future(resilient_submit(broker, request))
+                for request in requests
+            ]
+            return await asyncio.gather(*tasks)
+        finally:
+            await broker.stop()
+
+    broker = Broker(
+        jobs=2, queue_depth=4, policy=fast_policy(timeout=3.0, attempts=2),
+        session="load",
+    )
+    responses = asyncio.run(scenario(broker))
+
+    assert len(responses) == 1000
+    mismatched = [
+        r.cell for r, request in zip(responses, requests)
+        if r.result.to_dict() != truth[
+            (request.workload, "3060-Sim", request.strategy)
+        ]
+    ]
+    assert not mismatched, f"non-bit-identical responses: {mismatched[:5]}"
+
+    stats = broker.stats
+    # Duplicates collapse: every request beyond the eight unique cells
+    # (plus shed retries) was answered by coalescing or the memo.
+    assert stats.coalesced + stats.memo_hits >= 990
+    assert stats.shed >= 1, "planned queue-full must shed at least once"
+    assert stats.failures >= 2, "crash and hang faults must be seen"
+    # Exactly one completed execution per unique cell fans out to all
+    # of its duplicates -- the coalescing invariant under chaos.
+    finishes = events_named(obslog_sink, "svc.finish")
+    finished_cells = [e["cell"] for e in finishes]
+    assert sorted(finished_cells) == sorted(
+        f"{w}|3060-Sim|{s}" for w, s in cells
+    ), "each unique cell must complete exactly once"
+    assert events_named(obslog_sink, "svc.shed")
+    # Admission accounting closes: every request was admitted, collapsed
+    # onto an in-flight execution, memo-answered, or shed (and later
+    # retried).  In-process degradation is an *execution* outcome of an
+    # admitted entry, so it does not appear in this sum.
+    assert stats.requests == (stats.admitted + stats.coalesced
+                              + stats.memo_hits + stats.shed)
+    assert stats.admitted == len(cells)
+
+
+# --------------------------------------------------------------------- #
+# Runtime cross-check of the static process-safety model
+# --------------------------------------------------------------------- #
+
+
+def test_service_iosan_writes_match_static_model(fake_registry, tmp_path,
+                                                 monkeypatch, obslog_sink):
+    """Under REPRO_SANITIZE=1 a service run performs no shared-file
+    write the ARC009-012 static model does not explain: the daemon layer
+    adds observability without adding writer sites."""
+    from repro.experiments import iosan
+    from tests.test_chaos import _static_write_model
+
+    serial_truth(tmp_path, ["S1", "S2"], ["baseline"])
+    log_path = tmp_path / "iosan.jsonl"
+    monkeypatch.setenv(iosan.SANITIZE_ENV, "1")
+    monkeypatch.setenv(iosan.IOSAN_LOG_ENV, str(log_path))
+    requests = [
+        SimRequest(workload=workload, gpu="3060-Sim", strategy="baseline")
+        for workload in ("S1", "S2", "S1", "S2", "S1")
+    ]
+    broker = Broker(jobs=2, paused=True, policy=fast_policy(),
+                    session="iosan")
+    assert iosan.maybe_install(), "shim must arm when both env vars set"
+    try:
+        responses = asyncio.run(ordered_burst(broker, requests))
+    finally:
+        iosan.uninstall()
+    assert not iosan.installed()
+    assert all(not isinstance(r, BaseException) for r in responses)
+
+    cache = diskcache.active_cache()
+    events = iosan.read_log(log_path)
+    assert events, "armed shim must record I/O"
+    assert len({event["pid"] for event in events}) >= 2, \
+        "spawned service workers must arm their own shim"
+    observed = iosan.observed_protocols(
+        events, cache.root, str(obslog_sink)
+    )
+    unexplained = observed - _static_write_model()
+    assert not unexplained, (
+        "service runtime writes the static process-safety model does "
+        f"not explain: {sorted(unexplained)}"
+    )
+    # The three shared files a service run touches, each through its
+    # modeled sound protocol.
+    assert ("cache-results", iosan.PROTOCOL_ATOMIC_RENAME) in observed
+    assert ("manifest", iosan.PROTOCOL_APPEND) in observed
+    assert ("obslog", iosan.PROTOCOL_APPEND) in observed
