@@ -21,6 +21,12 @@ failures those proofs need, at exactly chosen points:
   exercising load-shedding and stale-serve degradation deterministically
   (see :mod:`repro.service.broker`) without having to win a timing race
   against the dispatchers.
+* ``loop-block``    -- the broker's admission path blocks the event loop
+  (a plain ``time.sleep`` on the loop thread) for the targeted cell's
+  admission, proving the async-safety cross-check end to end: the static
+  analysis flags the hook's call site (ARC013, suppressed as deliberate)
+  and the runtime loop sanitizer (:mod:`repro.service.loopsan`)
+  attributes the observed stall to the same frame.
 
 The first three double as *service-level* faults: the daemon's workers
 run the same task wrapper, so a ``crash`` spec kills a worker mid-request
@@ -60,6 +66,7 @@ __all__ = [
     "configure",
     "corrupt_entry",
     "mark_worker",
+    "on_admission",
     "on_attempt",
     "on_completed",
     "planned_corruption",
@@ -70,6 +77,7 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 FAULT_KINDS = (
     "crash", "hang", "error", "corrupt-cache", "interrupt", "queue-full",
+    "loop-block",
 )
 
 #: Worker exit status for an injected crash (distinctive in core dumps /
@@ -233,6 +241,24 @@ def planned_queue_full(cell: str, arrival: int) -> bool:
     return plan is not None and (
         plan.find(cell, "queue-full", arrival) is not None
     )
+
+
+def on_admission(cell: str, arrival: int) -> None:
+    """Fire any ``loop-block`` fault planned for *cell*'s *arrival*-th
+    admission: a deliberate synchronous sleep on the event-loop thread.
+
+    The broker calls this at admission time.  The sleep is exactly the
+    bug class ARC013 forbids, injected on purpose so the chaos suite
+    can prove both halves of the async-safety cross-check catch it:
+    statically at the broker's call site, and at runtime as a stall
+    loopsan attributes to this very frame.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    spec = plan.find(cell, "loop-block", arrival)
+    if spec is not None:
+        time.sleep(spec.seconds)
 
 
 def corrupt_entry(path: Path) -> bool:

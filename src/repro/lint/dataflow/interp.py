@@ -364,6 +364,9 @@ class UnitInterpreter:
             return self._eval(node.value, env, facts)
         if isinstance(node, ast.UnaryOp):
             return self._eval(node.operand, env, facts)
+        if isinstance(node, ast.Await):
+            # ``await f()`` carries the unit of the awaited expression.
+            return self._eval(node.value, env, facts)
         if isinstance(node, ast.BinOp):
             return self._eval_binop(node, env, facts)
         if isinstance(node, ast.Call):

@@ -95,12 +95,16 @@ class FunctionSymbol:
     """One function or method definition, addressable project-wide."""
 
     def __init__(self, qname: str, module: "ModuleInfo",
-                 node: ast.FunctionDef, cls: "ClassSymbol | None" = None):
+                 node: "ast.FunctionDef | ast.AsyncFunctionDef",
+                 cls: "ClassSymbol | None" = None):
         self.qname = qname
         self.name = node.name
         self.module = module
         self.node = node
         self.cls = cls
+        #: Whether this is an ``async def`` -- the coroutine-context
+        #: analysis seeds its reachability lattice from these.
+        self.is_async = isinstance(node, ast.AsyncFunctionDef)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"FunctionSymbol({self.qname})"
@@ -144,6 +148,16 @@ class ClassSymbol:
             for arg in init.args.args
         }
         for stmt in ast.walk(init):
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Attribute)
+                    and isinstance(stmt.target.value, ast.Name)
+                    and stmt.target.value.id == "self"):
+                # ``self._journal: "RunManifest | None" = None`` -- a
+                # deferred attribute typed at its declaration site.
+                name = annotation_name(stmt.annotation)
+                if name:
+                    self.attr_class.setdefault(stmt.target.attr, name)
+                continue
             if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
                 continue
             target = stmt.targets[0]
@@ -195,14 +209,15 @@ class SymbolTable:
         self._classes[name] = {}
         self.imports[name] = astutil.import_map(module.tree)
         for node in module.tree.body:
-            if isinstance(node, ast.FunctionDef):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 symbol = FunctionSymbol(f"{name}.{node.name}", module, node)
                 self._functions[name][node.name] = symbol
             elif isinstance(node, ast.ClassDef):
                 cls = ClassSymbol(f"{name}.{node.name}", module, node)
                 self._classes[name][node.name] = cls
                 for stmt in node.body:
-                    if isinstance(stmt, ast.FunctionDef):
+                    if isinstance(stmt,
+                                  (ast.FunctionDef, ast.AsyncFunctionDef)):
                         method = FunctionSymbol(
                             f"{cls.qname}.{stmt.name}", module, stmt, cls
                         )

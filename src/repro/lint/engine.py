@@ -86,6 +86,8 @@ class LintConfig:
         "REPRO_CACHE_SWEEP_AGE",
         "REPRO_SANITIZE",
         "REPRO_IOSAN_LOG",
+        "REPRO_LOOPSAN_LOG",
+        "REPRO_LOOPSAN_SLOW_MS",
         "REPRO_LOG_LEVEL",
     )
     #: Env-key prefixes the spawn-carry discipline applies to; reads of
@@ -101,6 +103,49 @@ class LintConfig:
         ("obslog", "obslog"),
         ("results_dir", "cache-results"),
         ("entry_path", "cache-results"),
+    )
+    #: Package directories in scope for the async-safety rules
+    #: (ARC013-ARC016): code that runs on (or right next to) the
+    #: service's asyncio event loop.
+    asyncsafety_packages: tuple[str, ...] = ("service",)
+    #: Alias-resolved call paths that block the calling thread -- the
+    #: seeds of the blocking-call classifier.  These are the project's
+    #: *real* blockers (sync file I/O, sleeps, subprocesses, sockets,
+    #: numpy trace spooling), not a generic deny-list.
+    async_blocking_calls: tuple[str, ...] = (
+        "open",
+        "io.open",
+        "os.open",
+        "os.replace",
+        "os.rename",
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+        "numpy.load",
+        "numpy.savez",
+        "numpy.savez_compressed",
+    )
+    #: Method names that denote synchronous file I/O on any receiver
+    #: (the pathlib idiom used by the disk cache and manifest).
+    async_blocking_methods: tuple[str, ...] = (
+        "read_text",
+        "read_bytes",
+        "write_text",
+        "write_bytes",
+    )
+    #: Coroutine-reachable project callees exempt from ARC013: audited
+    #: appends whose single O_APPEND write is measured in microseconds
+    #: and whose loss would cost more than the stall (telemetry, the
+    #: crash-recovery journal).  Exemption is not invisibility -- these
+    #: stay in the static model the runtime loop sanitizer checks
+    #: observed stalls against.
+    async_blocking_allowlist: tuple[str, ...] = (
+        "repro.obslog.emit",
+        "repro.experiments.manifest.RunManifest.record",
     )
 
 

@@ -12,14 +12,17 @@ Importing this package registers every rule with
 * ``ARC007`` event-tie determinism (:mod:`.event_ties`)
 * ``ARC008`` cache-key taint (:mod:`.cachekeys`)
 * ``ARC009``-``ARC012`` process-safety (:mod:`.concurrency`)
+* ``ARC013``-``ARC016`` async-safety (:mod:`.asyncsafety`)
 
 ARC003/006/008 share one :class:`repro.lint.dataflow.DataflowAnalysis`
 per run, built lazily on first use and cached on the lint context;
 ARC009-012 layer the process-context and shared-resource analyses on
-top of the same instance.
+top of the same instance, and ARC013-016 layer the coroutine-context
+analysis on it the same way.
 """
 
 from repro.lint.rules import (
+    asyncsafety,
     cachekeys,
     concurrency,
     determinism,
@@ -32,6 +35,7 @@ from repro.lint.rules import (
 )
 
 __all__ = [
+    "asyncsafety",
     "cachekeys",
     "concurrency",
     "determinism",

@@ -16,10 +16,13 @@ protocol is one JSON object per line in each direction:
 
 A unix socket (not TCP) keeps the trust boundary at filesystem
 permissions, and line-delimited JSON keeps the protocol debuggable with
-``nc -U``.  The daemon installs the runtime I/O sanitizer when
-``REPRO_SANITIZE=1`` is set, exactly like the test harness, so a
-long-running service is continuously cross-checked against the static
-ARC009-012 write-protocol model.
+``nc -U``.  The daemon installs the runtime sanitizers when
+``REPRO_SANITIZE=1`` is set, exactly like the test harness: the I/O
+shim (:mod:`repro.experiments.iosan`) cross-checks the static
+ARC009-012 write-protocol model, and the loop-stall shim
+(:mod:`repro.service.loopsan`) cross-checks the static ARC013
+coroutine-blocking model, with ``loop.slow_callback_duration`` armed to
+the same threshold.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from pathlib import Path
 
 from repro import obslog
 from repro.experiments import iosan
+from repro.service import loopsan
 from repro.service.broker import Broker
 from repro.service.request import ServiceError, SimRequest
 
@@ -61,7 +65,11 @@ class ServiceDaemon:
 
     async def run(self, ready: "asyncio.Event | None" = None) -> None:
         """Start the broker, listen, and block until a shutdown op."""
+        # iosan first, loopsan over it: both then observe one call, and
+        # loopsan's pristine-at-import log writer bypasses both shims.
         iosan.maybe_install()
+        if loopsan.maybe_install():
+            loopsan.arm_loop(asyncio.get_running_loop())
         await self.broker.start()
         self._stopping = asyncio.Event()
         self.socket_path.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,327 @@
+"""Runtime event-loop stall sanitizer: record what *actually* blocks
+the loop thread, so the static coroutine-context model can be
+cross-checked.
+
+ARC013 (:mod:`repro.lint.rules.asyncsafety`) reasons about a static
+model of which blocking calls are reachable in coroutine context.
+Static models drift; this module is the runtime ground truth that keeps
+ours honest -- the loop-thread sibling of the I/O sanitizer
+(:mod:`repro.experiments.iosan`), sharing its ``REPRO_SANITIZE`` gate
+and its append-only JSONL discipline.  With ``REPRO_SANITIZE=1`` and a
+log path in ``REPRO_LOOPSAN_LOG``, :func:`maybe_install` interposes on
+the blocking primitives the classifier is seeded with:
+
+* ``builtins.open`` / ``io.open`` / ``os.open`` (pathlib I/O lands
+  here, and so does numpy's savez spooling);
+* ``os.replace`` / ``os.rename`` (atomic-rename commits);
+* ``time.sleep`` (the canonical injected stall).
+
+A primitive hit is recorded *only when the calling thread is running an
+event loop* -- worker threads and executors may block freely, that is
+what they are for.  Each record carries the innermost repro frame on
+the stack (``module.Class.method``, the same qualified-name vocabulary
+the lint layer uses), the measured duration, and a ``stalled`` verdict
+against the ``REPRO_LOOPSAN_SLOW_MS`` threshold.  On top of the
+primitive shims, :func:`maybe_install` wraps ``asyncio.Handle._run``
+with a monotonic per-callback tracker that records any callback
+overrunning the threshold, and :func:`arm_loop` sets the loop's own
+``slow_callback_duration`` so asyncio's debug-mode reporting agrees
+with ours.
+
+The chaos-suite cross-check asserts that the set of frames observed
+blocking on the loop thread is a subset of the static
+:meth:`~repro.lint.dataflow.asyncctx.AsyncContexts.blocking_model`,
+and that an injected ``loop-block`` fault is caught by both layers.
+The shim writes its own log through primitives saved at import time
+(pre-interposition, iosan's included), so observation never recurses
+and never takes down the observed run.  The frame-attribution
+vocabulary is deliberately duplicated from the lint layer (the service
+must not import ``repro.lint``); the test suite pins the constants
+equal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import builtins
+import io
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+__all__ = [
+    "DEFAULT_SLOW_MS",
+    "LOOPSAN_LOG_ENV",
+    "LOOPSAN_SLOW_MS_ENV",
+    "SANITIZE_ENV",
+    "arm_loop",
+    "enabled",
+    "installed",
+    "maybe_install",
+    "observed_frames",
+    "read_log",
+    "slow_threshold_ms",
+    "stalled_frames",
+    "uninstall",
+]
+
+SANITIZE_ENV = "REPRO_SANITIZE"
+LOOPSAN_LOG_ENV = "REPRO_LOOPSAN_LOG"
+LOOPSAN_SLOW_MS_ENV = "REPRO_LOOPSAN_SLOW_MS"
+
+#: Default stall threshold.  100 ms is far above any audited append
+#: (microseconds) and far below any injected fault (hundreds of ms), so
+#: the ``stalled`` verdict is unambiguous on both sides.
+DEFAULT_SLOW_MS = 100.0
+
+#: Saved at import, *before* any sanitizer installs: the log writer
+#: must bypass every shim (iosan's included) or recording an open would
+#: record itself forever.
+_pristine_os_open = os.open
+_pristine_os_write = os.write
+_pristine_os_close = os.close
+_pristine_open = builtins.open
+
+#: Directory of the ``repro`` package, for frame attribution.
+_REPRO_ROOT = str(Path(__file__).resolve().parents[1])
+
+#: Source files whose frames are sanitizer plumbing, never attribution
+#: targets (this module, and iosan's shims which may wrap ours).
+_SANITIZER_FILES = (
+    str(Path(__file__).resolve()),
+    str(Path(__file__).resolve().parents[1] / "experiments" / "iosan.py"),
+)
+
+_installed = False
+_saved: dict = {}
+
+
+def enabled() -> bool:
+    """Whether the shim should interpose in this process."""
+    sanitize = os.environ.get(SANITIZE_ENV, "").strip()
+    if sanitize in ("", "0"):
+        return False
+    return bool(os.environ.get(LOOPSAN_LOG_ENV, "").strip())
+
+
+def installed() -> bool:
+    return _installed
+
+
+def slow_threshold_ms() -> float:
+    """Configured stall threshold in milliseconds."""
+    raw = os.environ.get(LOOPSAN_SLOW_MS_ENV, "").strip()
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return DEFAULT_SLOW_MS
+
+
+def _on_loop_thread() -> bool:
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return False
+    return True
+
+
+def _blocking_frame() -> "str | None":
+    """Innermost repro frame on the stack, as ``module.Qual.name``.
+
+    This is the frame a stall is *attributed* to: the nearest repro
+    code below the primitive, which for ``np.savez_compressed`` is the
+    spool writer, not numpy internals.  Returns ``None`` when no repro
+    frame is on the stack at all.
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename.startswith(_REPRO_ROOT) \
+                and filename not in _SANITIZER_FILES:
+            module = frame.f_globals.get("__name__", "")
+            qualname = getattr(
+                frame.f_code, "co_qualname", frame.f_code.co_name
+            )
+            return f"{module}.{qualname}" if module else qualname
+        frame = frame.f_back
+    return None
+
+
+def _record(op: str, duration_s: float, **fields) -> None:
+    """Append one observation via the pristine primitives only."""
+    log_path = os.environ.get(LOOPSAN_LOG_ENV, "").strip()
+    if not log_path:
+        return
+    duration_ms = duration_s * 1000.0
+    record = {
+        "op": op,
+        "pid": os.getpid(),
+        "duration_ms": round(duration_ms, 3),
+        "stalled": duration_ms >= slow_threshold_ms(),
+    }
+    record.update(fields)
+    line = json.dumps(record, sort_keys=True) + "\n"
+    try:
+        fd = _pristine_os_open(
+            log_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            _pristine_os_write(fd, line.encode("utf-8"))
+        finally:
+            _pristine_os_close(fd)
+    except OSError:
+        return  # observation must never take down the observed run
+
+
+def _timed(op: str, real, detail_fields):
+    """A wrapper over primitive *real* that records loop-thread hits."""
+    def traced(*args, **kwargs):
+        if not _on_loop_thread():
+            return real(*args, **kwargs)
+        frame = _blocking_frame()
+        start = time.perf_counter()
+        try:
+            return real(*args, **kwargs)
+        finally:
+            duration = time.perf_counter() - start
+            if frame is not None:
+                _record(op, duration, frame=frame,
+                        **detail_fields(args))
+    return traced
+
+
+def _wrapped_handle_run(real_run):
+    """Per-callback stall tracker for ``asyncio.Handle._run``.
+
+    Records only overruns (the per-primitive shims already record every
+    attributable hit): a callback that held the loop past the threshold
+    yields one ``callback`` record naming the callback, whether or not
+    a shimmed primitive was the cause.
+    """
+    def run(handle):
+        start = time.perf_counter()
+        try:
+            return real_run(handle)
+        finally:
+            duration = time.perf_counter() - start
+            if duration * 1000.0 >= slow_threshold_ms():
+                callback = getattr(handle, "_callback", None)
+                name = getattr(callback, "__qualname__", None) \
+                    or repr(callback)
+                _record("callback", duration, callback=name)
+    return run
+
+
+def maybe_install() -> bool:
+    """Interpose when :func:`enabled`; True when the shim is active.
+
+    Installs *over* whatever is currently bound (iosan's shims
+    included, so both sanitizers observe the same call), and is
+    idempotent.  Install iosan first: loopsan saved pristine copies at
+    import, so its own log writes bypass both shims either way.
+    """
+    global _installed
+    if not enabled():
+        return _installed
+    if _installed:
+        return True
+    _saved.update(
+        open=builtins.open, io_open=io.open, os_open=os.open,
+        os_replace=os.replace, os_rename=os.rename, sleep=time.sleep,
+        handle_run=asyncio.Handle._run,
+    )
+
+    def path_of(args):
+        return {"detail": str(args[0])} if args else {}
+
+    def dst_of(args):
+        return {"detail": str(args[1])} if len(args) > 1 else {}
+
+    def seconds_of(args):
+        return {"detail": f"{args[0]:.3f}s"} if args else {}
+
+    builtins.open = _timed("open", _saved["open"], path_of)
+    io.open = _timed("open", _saved["io_open"], path_of)
+    os.open = _timed("os.open", _saved["os_open"], path_of)
+    os.replace = _timed("replace", _saved["os_replace"], dst_of)
+    os.rename = _timed("rename", _saved["os_rename"], dst_of)
+    time.sleep = _timed("sleep", _saved["sleep"], seconds_of)
+    asyncio.Handle._run = _wrapped_handle_run(_saved["handle_run"])
+    _installed = True
+    return True
+
+
+def uninstall() -> None:
+    """Restore what was bound before install (test cleanup)."""
+    global _installed
+    if not _saved:
+        return
+    builtins.open = _saved["open"]
+    io.open = _saved["io_open"]
+    os.open = _saved["os_open"]
+    os.replace = _saved["os_replace"]
+    os.rename = _saved["os_rename"]
+    time.sleep = _saved["sleep"]
+    asyncio.Handle._run = _saved["handle_run"]
+    _saved.clear()
+    _installed = False
+
+
+def arm_loop(loop) -> float:
+    """Arm asyncio's own slow-callback reporting on *loop*.
+
+    Debug mode makes the loop time every callback and log any that
+    exceed ``slow_callback_duration``; aligning it with loopsan's
+    threshold means asyncio's report and our JSONL agree on what
+    counts as a stall.  Returns the threshold in seconds.
+    """
+    threshold_s = slow_threshold_ms() / 1000.0
+    loop.set_debug(True)
+    loop.slow_callback_duration = threshold_s
+    return threshold_s
+
+
+# --------------------------------------------------------------------- #
+# Reading a recorded stream back into attributed-frame observations
+# --------------------------------------------------------------------- #
+
+
+def read_log(path) -> list[dict]:
+    """Parse a recorded JSONL stream (torn lines skipped, like obslog)."""
+    events = []
+    try:
+        handle = _pristine_open(path, encoding="utf-8")
+    except (FileNotFoundError, OSError):
+        return events
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue
+    return events
+
+
+def observed_frames(events: list[dict]) -> set[str]:
+    """Repro frames observed performing a blocking primitive on the
+    loop thread.  ``callback`` records carry no frame (they time the
+    whole callback, after the fact) and fold out here."""
+    return {
+        event["frame"] for event in events
+        if event.get("frame")
+    }
+
+
+def stalled_frames(events: list[dict]) -> set[str]:
+    """The subset of observed frames that overran the threshold."""
+    return {
+        event["frame"] for event in events
+        if event.get("frame") and event.get("stalled")
+    }

@@ -552,8 +552,182 @@ _ARC012 = [
 ]
 
 
+# --------------------------------------------------------------------- #
+# ARC013 no blocking call in coroutine context
+# --------------------------------------------------------------------- #
+
+_ARC013 = [
+    FixtureCase("ARC013", "positive", "sleep-on-the-loop", {
+        "service/gateway.py": (
+            "import time\n"
+            "async def admit(request):\n"
+            "    time.sleep(0.01)\n"
+            "    return request\n"
+        ),
+    }, expect="blocking primitive time.sleep()"),
+    FixtureCase("ARC013", "positive", "transitive-file-read", {
+        "experiments/blob.py": (
+            "def read_blob(path):\n"
+            "    return path.read_text()\n"
+        ),
+        "service/gateway.py": (
+            "from experiments.blob import read_blob\n"
+            "async def admit(path):\n"
+            "    return read_blob(path)\n"
+        ),
+    }, expect="blocks the event loop"),
+    FixtureCase("ARC013", "negative", "routed-through-executor", {
+        "service/gateway.py": (
+            "import asyncio\n"
+            "def read_blob(path):\n"
+            "    with open(path) as handle:\n"
+            "        return handle.read()\n"
+            "async def admit(path):\n"
+            "    return await asyncio.to_thread(read_blob, path)\n"
+        ),
+    }),
+    FixtureCase("ARC013", "negative", "blocking-helper-stays-sync", {
+        "service/gateway.py": (
+            "import time\n"
+            "def warm_up():\n"
+            "    time.sleep(0.01)\n"
+            "async def admit(request):\n"
+            "    return request\n"
+        ),
+    }),
+]
+
+
+# --------------------------------------------------------------------- #
+# ARC014 await discipline
+# --------------------------------------------------------------------- #
+
+_ARC014 = [
+    FixtureCase("ARC014", "positive", "unawaited-coroutine", {
+        "service/gateway.py": (
+            "async def flush():\n"
+            "    pass\n"
+            "async def admit(request):\n"
+            "    flush()\n"
+            "    return request\n"
+        ),
+    }, expect="never awaited"),
+    FixtureCase("ARC014", "positive", "dropped-task-handle", {
+        "service/gateway.py": (
+            "import asyncio\n"
+            "async def flush():\n"
+            "    pass\n"
+            "async def admit(request):\n"
+            "    asyncio.create_task(flush())\n"
+            "    return request\n"
+        ),
+    }, expect="handle is dropped"),
+    FixtureCase("ARC014", "negative", "awaited-and-retained", {
+        "service/gateway.py": (
+            "import asyncio\n"
+            "async def flush():\n"
+            "    pass\n"
+            "async def admit(request):\n"
+            "    task = asyncio.create_task(flush())\n"
+            "    await task\n"
+            "    return request\n"
+        ),
+    }),
+]
+
+
+# --------------------------------------------------------------------- #
+# ARC015 deadline taint
+# --------------------------------------------------------------------- #
+
+_ARC015 = [
+    FixtureCase("ARC015", "positive", "unclamped-policy-timeout", {
+        "service/gateway.py": (
+            "import asyncio\n"
+            "class Gateway:\n"
+            "    def __init__(self, policy):\n"
+            "        self.policy = policy\n"
+            "    async def fetch(self, waiter, deadline):\n"
+            "        return await asyncio.wait_for(\n"
+            "            waiter, self.policy.timeout\n"
+            "        )\n"
+        ),
+    }, expect="shared policy default"),
+    FixtureCase("ARC015", "positive", "unbounded-event-wait", {
+        "service/gateway.py": (
+            "async def fetch(gate, deadline):\n"
+            "    await gate.wait()\n"
+            "    return deadline\n"
+        ),
+    }, expect="unbounded await"),
+    FixtureCase("ARC015", "negative", "clamped-wait-for", {
+        "service/gateway.py": (
+            "import asyncio\n"
+            "async def fetch(gate, deadline, policy):\n"
+            "    clamped = policy.clamped(deadline)\n"
+            "    await asyncio.wait_for(gate.wait(), clamped.timeout)\n"
+            "    return deadline\n"
+        ),
+    }),
+    FixtureCase("ARC015", "negative", "no-deadline-no-taint", {
+        "service/gateway.py": (
+            "async def fetch(gate):\n"
+            "    await gate.wait()\n"
+        ),
+    }),
+]
+
+
+# --------------------------------------------------------------------- #
+# ARC016 cancellation safety
+# --------------------------------------------------------------------- #
+
+_ARC016 = [
+    FixtureCase("ARC016", "positive", "queue-get-unbalanced", {
+        "service/gateway.py": (
+            "async def drain(task_queue):\n"
+            "    item = await task_queue.get()\n"
+            "    return item\n"
+        ),
+    }, expect="task_done"),
+    FixtureCase("ARC016", "positive", "acquire-without-finally", {
+        "service/gateway.py": (
+            "async def guard(state_lock, work):\n"
+            "    await state_lock.acquire()\n"
+            "    result = await work\n"
+            "    state_lock.release()\n"
+            "    return result\n"
+        ),
+    }, expect="release"),
+    FixtureCase("ARC016", "positive", "unshielded-journal-write", {
+        "service/gateway.py": (
+            "async def persist(journal, entry):\n"
+            "    await journal.record(entry)\n"
+        ),
+    }, expect="shield"),
+    FixtureCase("ARC016", "negative", "task-done-in-finally", {
+        "service/gateway.py": (
+            "async def drain(task_queue):\n"
+            "    item = await task_queue.get()\n"
+            "    try:\n"
+            "        return item\n"
+            "    finally:\n"
+            "        task_queue.task_done()\n"
+        ),
+    }),
+    FixtureCase("ARC016", "negative", "shielded-journal-write", {
+        "service/gateway.py": (
+            "import asyncio\n"
+            "async def persist(journal, entry):\n"
+            "    await asyncio.shield(journal.record(entry))\n"
+        ),
+    }),
+]
+
+
 CASES: "list[FixtureCase]" = [
     *_ARC001, *_ARC002, *_ARC003, *_ARC004,
     *_ARC005, *_ARC006, *_ARC007, *_ARC008,
     *_ARC009, *_ARC010, *_ARC011, *_ARC012,
+    *_ARC013, *_ARC014, *_ARC015, *_ARC016,
 ]

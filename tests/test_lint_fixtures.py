@@ -60,3 +60,17 @@ def test_every_rule_has_positive_and_negative_fixtures():
             f"{rule} is missing fixture kind(s): "
             f"{sorted({'positive', 'negative'} - kinds)}"
         )
+
+
+def test_registry_is_contiguous_through_arc016():
+    """The corpus meta-test is only as strong as the registry it walks:
+    if a rule module silently stopped registering, the loop above would
+    happily check fewer rules.  Pin the expected id range."""
+    expected = {f"ARC{i:03d}" for i in range(1, 17)}
+    assert expected <= set(rule_ids())
+
+
+def test_fixtures_cover_no_unregistered_rules():
+    registered = set(rule_ids())
+    orphaned = {case.rule for case in CASES} - registered
+    assert not orphaned, f"fixtures for unregistered rules: {orphaned}"

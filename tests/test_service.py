@@ -233,6 +233,40 @@ def test_queue_full_fault_sheds_typed_then_readmits(fake_registry,
     assert broker.stats.admitted == 1
     [shed_event] = events_named(obslog_sink, "svc.shed")
     assert shed_event["cell"] == "S1|3060-Sim|baseline"
+    # Post-mortem fields: configured capacity vs. live occupancy (the
+    # fault saturates a genuinely empty queue) and the request's
+    # remaining deadline budget (none was set here).
+    assert shed_event["queue_depth"] == broker.queue_depth
+    assert shed_event["queue_size"] == 0
+    assert shed_event["deadline_remaining"] is None
+
+
+def test_shed_event_records_remaining_deadline_budget(fake_registry,
+                                                      tmp_path,
+                                                      obslog_sink):
+    """A deadline-carrying request shed at admission records how much
+    of its budget was still unspent -- the field that separates 'shed
+    while fresh' from 'shed after queue-time burned the budget'."""
+    serial_truth(tmp_path, ["S1"], ["baseline"])
+    faults.configure(FaultPlan((
+        FaultSpec(cell="S1|3060-Sim|baseline", kind="queue-full", times=1),
+    )))
+    request = SimRequest(workload="S1", gpu="3060-Sim",
+                         strategy="baseline", deadline=30.0)
+
+    async def scenario(broker):
+        await broker.start()
+        try:
+            with pytest.raises(RequestShed):
+                await broker.submit(request)
+        finally:
+            await broker.stop()
+
+    broker = Broker(jobs=1, policy=fast_policy(), session="shed-budget")
+    asyncio.run(scenario(broker))
+    [shed_event] = events_named(obslog_sink, "svc.shed")
+    assert 0.0 < shed_event["deadline_remaining"] <= 30.0
+    assert shed_event["queue_depth"] == broker.queue_depth
 
 
 def test_real_queue_saturation_sheds(fake_registry, tmp_path):
@@ -590,6 +624,82 @@ def test_service_load_is_bit_identical_under_chaos(fake_registry,
     assert stats.requests == (stats.admitted + stats.coalesced
                               + stats.memo_hits + stats.shed)
     assert stats.admitted == len(cells)
+
+
+# --------------------------------------------------------------------- #
+# Daemon: signal-driven drain over the unix socket
+# --------------------------------------------------------------------- #
+
+
+def test_sigterm_drains_inflight_coalesced_waiters(fake_registry,
+                                                   tmp_path, obslog_sink):
+    """SIGTERM mid-flight is a clean drain, not an amputation: five
+    socket clients coalesced onto one paused cell each get a reply --
+    a result or a typed error, never a hang or a dropped connection --
+    and the daemon exits only after the broker has drained."""
+    import json
+    import os
+    import signal
+
+    from repro.service.daemon import ServiceDaemon
+
+    truth = serial_truth(tmp_path, ["S1"], ["baseline"])
+    socket_path = tmp_path / "svc-drain.sock"
+
+    async def scenario():
+        broker = Broker(jobs=1, paused=True, policy=fast_policy(),
+                        session="drain")
+        daemon = ServiceDaemon(broker, socket_path=socket_path)
+        ready = asyncio.Event()
+        run_task = asyncio.create_task(daemon.run(ready))
+        await asyncio.wait_for(ready.wait(), timeout=10)
+        conns = []
+        for _ in range(5):
+            reader, writer = await asyncio.open_unix_connection(
+                str(socket_path)
+            )
+            writer.write(json.dumps(
+                {"op": "simulate", "workload": "S1"}
+            ).encode("utf-8") + b"\n")
+            await writer.drain()
+            conns.append((reader, writer))
+        # All five must be in flight (one admission, four coalesced)
+        # before the signal lands, so the drain has real waiters.
+        for _ in range(500):
+            if broker.stats.admitted + broker.stats.coalesced >= 5:
+                break
+            await asyncio.sleep(0.01)
+        assert broker.stats.admitted == 1
+        assert broker.stats.coalesced == 4
+        # run() must have hooked SIGTERM; the default action would kill
+        # the test process instead of draining the daemon.
+        assert signal.getsignal(signal.SIGTERM) not in (
+            signal.SIG_DFL, None
+        )
+        os.kill(os.getpid(), signal.SIGTERM)
+        replies = []
+        for reader, writer in conns:
+            line = await asyncio.wait_for(reader.readline(), timeout=120)
+            assert line, "waiter must get a reply, not a closed socket"
+            replies.append(json.loads(line))
+            writer.close()
+        await asyncio.wait_for(run_task, timeout=60)
+        return replies, broker
+
+    replies, broker = asyncio.run(scenario())
+    statuses = {reply["status"] for reply in replies}
+    assert statuses <= {"ok", "shed", "deadline", "failed", "error"}, \
+        statuses
+    # The drain path resumes dispatch, so the coalesced cell actually
+    # executes and every waiter sees the bit-identical serial result.
+    assert statuses == {"ok"}
+    expected = truth[("S1", "3060-Sim", "baseline")]
+    assert all(reply["result"] == expected for reply in replies)
+    assert sorted(reply["coalesced"] for reply in replies) \
+        == [False, True, True, True, True]
+    assert broker.stats.executions == 1
+    assert not socket_path.exists(), "drained daemon removes its socket"
+    assert events_named(obslog_sink, "svc.shutdown")
 
 
 # --------------------------------------------------------------------- #
