@@ -39,6 +39,7 @@ from repro.bench.history import (
     HISTORY_COLUMNS,
     collate_history,
     load_reports,
+    machine_hash,
 )
 from repro.bench.runner import run_scenario
 from repro.bench.schema import (
@@ -62,6 +63,7 @@ __all__ = [
     "compare_reports",
     "get_scenario",
     "load_reports",
+    "machine_hash",
     "make_envelope",
     "run_scenario",
     "scenario_names",

@@ -307,6 +307,14 @@ def compare_reports(baseline: dict, fresh: dict,
         for key in ("latency_ms_p50", "latency_ms_p95"):
             _timing(comparison, f"aggregate.service.{key}",
                     base_svc[key], fresh_svc[key], tolerances.timing_frac)
+        # Span-breakdown keys postdate the first service baselines;
+        # compare only when both sides report them.
+        for key in ("queue_wait_ms_p50", "queue_wait_ms_p95",
+                    "execute_ms_p50", "execute_ms_p95"):
+            if key in base_svc and key in fresh_svc:
+                _timing(comparison, f"aggregate.service.{key}",
+                        base_svc[key], fresh_svc[key],
+                        tolerances.timing_frac)
     elif base_svc is not None or fresh_svc is not None:
         _exact(comparison, "aggregate.service", base_svc, fresh_svc)
 

@@ -21,12 +21,14 @@ from __future__ import annotations
 
 from pathlib import Path
 
-__all__ = ["HISTORY_COLUMNS", "collate_history", "load_reports"]
+__all__ = ["HISTORY_COLUMNS", "collate_history", "load_reports",
+           "machine_hash"]
 
 #: Column order of one collated row (also the text-table header).
 HISTORY_COLUMNS = (
     "scenario", "created_unix", "git_sha", "dirty", "engine_fingerprint",
-    "cells", "wall_ms_total", "cells_per_sec", "peak_rss_kb", "source",
+    "machine", "cells", "wall_ms_total", "delta_wall_ms", "cells_per_sec",
+    "peak_rss_kb", "source",
 )
 
 #: Envelope keys a file must carry to count as a BENCH document.
@@ -70,13 +72,32 @@ def load_reports(directory) -> "tuple[list[dict], list[str]]":
     return documents, skipped
 
 
+def machine_hash(machine: "dict | None") -> "str | None":
+    """Short content hash of a document's ``machine`` fingerprint.
+
+    Wall-time deltas are only signal between runs on the same host, so
+    the trajectory keys its delta column on this hash rather than just
+    the scenario.  Hashing the canonical-JSON dict keeps the column
+    stable across key insertion order and schema growth alike."""
+    import hashlib
+    import json
+
+    if not isinstance(machine, dict) or not machine:
+        return None
+    canonical = json.dumps(machine, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:8]
+
+
 def collate_history(reports: "list[dict]") -> list[dict]:
     """One row per document, sorted by ``(scenario, created_unix)``.
 
     Row keys are :data:`HISTORY_COLUMNS`; unknown provenance fields
     (a document recorded outside git) collate as ``None`` rather than
     being dropped, so the trajectory keeps its time axis even for runs
-    with thin provenance.
+    with thin provenance.  ``delta_wall_ms`` is this row's
+    ``wall_ms_total`` minus the previous row's *for the same scenario on
+    the same machine hash* -- cross-host pairs never produce a delta,
+    because that difference measures hardware, not the commit.
     """
     rows: list[dict] = []
     for doc in reports:
@@ -92,8 +113,10 @@ def collate_history(reports: "list[dict]") -> list[dict]:
                 fingerprint[:12] if isinstance(fingerprint, str)
                 else None
             ),
+            "machine": machine_hash(doc.get("machine")),
             "cells": len(doc.get("cells") or []),
             "wall_ms_total": aggregate.get("wall_ms_total"),
+            "delta_wall_ms": None,
             "cells_per_sec": aggregate.get("cells_per_sec"),
             "peak_rss_kb": aggregate.get("peak_rss_kb"),
             "source": doc.get("_source"),
@@ -101,4 +124,14 @@ def collate_history(reports: "list[dict]") -> list[dict]:
     rows.sort(key=lambda row: (
         row["scenario"] or "", row["created_unix"] or 0,
     ))
+    last_wall: "dict[tuple, float]" = {}
+    for row in rows:
+        key = (row["scenario"], row["machine"])
+        wall = row["wall_ms_total"]
+        if row["machine"] is None or not isinstance(wall, (int, float)):
+            continue
+        previous = last_wall.get(key)
+        if previous is not None:
+            row["delta_wall_ms"] = round(wall - previous, 3)
+        last_wall[key] = wall
     return rows

@@ -437,6 +437,15 @@ def _run_service(scenario: Scenario, cells,
         "latency_ms_p50": _percentile(all_latencies, 0.5),
         "latency_ms_p95": _percentile(all_latencies, 0.95),
     }
+    # Span-level breakdown: where the request latency went.  Sampled by
+    # the broker from its svc.queue_wait / svc.execute spans, so the
+    # bench report and a stitched `repro trace` agree by construction.
+    queue_waits = broker.span_samples.get("svc.queue_wait", [])
+    executes = broker.span_samples.get("svc.execute", [])
+    service_block["queue_wait_ms_p50"] = _percentile(queue_waits, 0.5)
+    service_block["queue_wait_ms_p95"] = _percentile(queue_waits, 0.95)
+    service_block["execute_ms_p50"] = _percentile(executes, 0.5)
+    service_block["execute_ms_p95"] = _percentile(executes, 0.95)
     return records, {"service": service_block}
 
 

@@ -294,6 +294,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-attempt cell timeout (default: REPRO_CELL_TIMEOUT)",
     )
     serve.add_argument(
+        "--metrics-port", type=_positive_int, default=None, metavar="PORT",
+        help="serve Prometheus text exposition on 127.0.0.1:PORT "
+             "(scrape with any HTTP client)",
+    )
+    serve.add_argument(
         "--status", action="store_true",
         help="print a running daemon's snapshot and exit",
     )
@@ -310,10 +315,25 @@ def _build_parser() -> argparse.ArgumentParser:
     request = sub.add_parser(
         "request",
         help="submit one simulation request to a running `repro serve` "
-             "daemon",
+             "daemon (--op metrics/status for introspection)",
     )
     _add_workload_arg(request)
     _add_gpu_arg(request)
+    request.add_argument(
+        "--op", choices=("simulate", "status", "metrics"),
+        default="simulate",
+        help="daemon operation (default: simulate; metrics/status need "
+             "no workload)",
+    )
+    request.add_argument(
+        "--watch", action="store_true",
+        help="with --op metrics: redraw a live service summary until "
+             "interrupted (a `repro top`)",
+    )
+    request.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="--watch refresh period (default: 2.0)",
+    )
     request.add_argument(
         "--strategy", "-s", default="baseline", metavar="NAME",
         help="strategy to simulate (default: baseline)",
@@ -332,10 +352,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="client-side socket timeout (default: 300)",
     )
     request.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "prom"), default="text",
+        help="output format (default: text; prom prints Prometheus "
+             "text exposition, --op metrics only)",
     )
     _add_observability_args(request)
+
+    trace = sub.add_parser(
+        "trace",
+        help="stitch one traced request's wall-clock spans (client -> "
+             "broker -> worker) with re-captured engine phase spans "
+             "into a Perfetto timeline",
+    )
+    trace.add_argument(
+        "obslog", metavar="OBSLOG",
+        help="obslog JSONL file the request was traced into "
+             "(repro serve --log / REPRO_OBSLOG)",
+    )
+    trace.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="trace to stitch (default: the trace with the most spans; "
+             "--list shows candidates)",
+    )
+    trace.add_argument(
+        "--list", action="store_true",
+        help="list trace ids found in the obslog and exit",
+    )
+    trace.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the stitched Chrome trace-event JSON here "
+             "(load in https://ui.perfetto.dev)",
+    )
+    trace.add_argument(
+        "--no-engine", action="store_true",
+        help="skip re-simulating the traced cell for engine phase "
+             "spans (wall-clock spans only)",
+    )
+    trace.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout format (default: text span tree)",
+    )
+    _add_observability_args(trace)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent simulation cache"
@@ -856,22 +913,27 @@ def _bench_history(args) -> int:
         sha = (row["git_sha"] or "?")[:9]
         if row["dirty"]:
             sha += "*"
+        delta = row["delta_wall_ms"]
         table_rows.append([
             row["scenario"] or "?", when, sha,
-            row["engine_fingerprint"] or "?", str(row["cells"]),
+            row["engine_fingerprint"] or "?",
+            row["machine"] or "?", str(row["cells"]),
             f"{row['wall_ms_total']:,.0f}"
             if isinstance(row["wall_ms_total"], (int, float)) else "?",
+            f"{delta:+,.0f}"
+            if isinstance(delta, (int, float)) else "-",
             f"{row['cells_per_sec']:,.1f}"
             if isinstance(row["cells_per_sec"], (int, float)) else "?",
             f"{row['peak_rss_kb']:,}"
             if isinstance(row["peak_rss_kb"], int) else "?",
         ])
     print(format_table(
-        ["scenario", "created (UTC)", "commit", "engine", "cells",
-         "wall ms", "cells/s", "RSS KiB"],
+        ["scenario", "created (UTC)", "commit", "engine", "machine",
+         "cells", "wall ms", "delta ms", "cells/s", "RSS KiB"],
         table_rows,
         title=f"bench trajectory ({len(rows)} run(s) "
-              f"under {args.history}; * = dirty tree)",
+              f"under {args.history}; * = dirty tree, "
+              "delta vs previous run on the same machine)",
     ))
     for reason in skipped:
         console.info("skipped %s", reason)
@@ -955,10 +1017,16 @@ def _cmd_serve(args) -> int:
     from repro.experiments.resilience import RetryPolicy
     from repro.service import Broker, CircuitBreaker, ServiceDaemon
 
+    from repro.obs import tracing
+
     jobs = args.jobs if args.jobs is not None else default_jobs(fallback=2)
     policy = RetryPolicy.from_env()
     if args.timeout is not None:
         policy = dc_replace(policy, timeout=args.timeout)
+    # Session root context exported *before* the broker builds its pool
+    # (spawn workers snapshot env at construction): worker cell.execute
+    # spans parent here, per-request context rides the JSON protocol.
+    tracing.arm_session()
     broker = Broker(
         jobs=jobs,
         queue_depth=args.queue_depth,
@@ -967,7 +1035,8 @@ def _cmd_serve(args) -> int:
         degrade=not args.no_degrade,
         breaker=CircuitBreaker(threshold=args.breaker_threshold),
     )
-    daemon = ServiceDaemon(broker, socket_path=socket_path)
+    daemon = ServiceDaemon(broker, socket_path=socket_path,
+                           metrics_port=args.metrics_port)
     console.info("serving on %s (jobs=%d, queue depth %d); "
                  "stop with `repro serve --stop` or Ctrl-C",
                  daemon.socket_path, jobs, args.queue_depth)
@@ -975,16 +1044,138 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _cmd_request(args) -> int:
+def _unreachable(args, svc_daemon, exc) -> int:
+    print(f"error: cannot reach daemon at "
+          f"{svc_daemon.default_socket_path() if args.socket is None else args.socket}: "
+          f"{exc}", file=sys.stderr)
+    return 2
+
+
+def _metrics_summary_lines(snapshot: dict) -> "list[str]":
+    """Compact `repro top` view of a daemon metrics snapshot."""
+    def value(name, default=0.0, **labels):
+        entry = snapshot.get(name)
+        if not entry:
+            return default
+        want = {str(k): str(v) for k, v in labels.items()}
+        for series in entry.get("series", []):
+            if {str(k): str(v)
+                    for k, v in series.get("labels", {}).items()} == want:
+                return series.get("value", series.get("count", default))
+        return default
+
+    def total(name):
+        entry = snapshot.get(name)
+        if not entry:
+            return 0.0
+        return sum(s.get("value", s.get("count", 0.0))
+                   for s in entry.get("series", []))
+
+    breaker_names = {0: "closed", 1: "half-open", 2: "open"}
+    breaker = breaker_names.get(
+        int(value("repro_service_breaker_state")), "?")
+    lines = [
+        "requests   "
+        + " ".join(f"{label}={int(total(name))}" for label, name in (
+            ("total", "repro_service_requests_total"),
+            ("admitted", "repro_service_admitted_total"),
+            ("coalesced", "repro_service_coalesced_total"),
+            ("memo", "repro_service_memo_hits_total"),
+            ("shed", "repro_service_shed_total"),
+            ("degraded", "repro_service_degraded_total"),
+        )),
+        f"queue      {int(value('repro_service_queue_size'))}"
+        f"/{int(value('repro_service_queue_depth'))}"
+        f"  inflight {int(value('repro_service_inflight'))}",
+        f"pool       breaker={breaker}"
+        f" trips={int(total('repro_service_breaker_trips_total'))}"
+        f" restarts={int(total('repro_service_pool_restarts_total'))}",
+        "attempts   "
+        + (" ".join(
+            f"{s['labels'].get('outcome')}={int(s['value'])}"
+            for s in snapshot.get("repro_service_attempts_total",
+                                  {}).get("series", [])
+        ) or "none"),
+        "cache      "
+        + " ".join(f"{label}={int(total(name))}" for label, name in (
+            ("hits", "repro_cache_hits_total"),
+            ("misses", "repro_cache_misses_total"),
+            ("quarantined", "repro_cache_quarantined_total"),
+        )),
+    ]
+    lat = snapshot.get("repro_service_request_latency_seconds")
+    if lat and lat.get("series"):
+        series = lat["series"][0]
+        count = series.get("count", 0)
+        mean = series.get("sum", 0.0) / count * 1000.0 if count else 0.0
+        lines.append(f"latency    n={int(count)} mean={mean:.1f} ms")
+    return lines
+
+
+def _request_introspect(args) -> int:
+    """``repro request --op status|metrics`` (optionally ``--watch``)."""
     import json
+    import time
 
     from repro.service import daemon as svc_daemon
 
+    while True:
+        try:
+            reply = svc_daemon.call(
+                {"op": args.op}, socket_path=args.socket,
+                timeout=args.timeout,
+            )
+        except OSError as exc:
+            return _unreachable(args, svc_daemon, exc)
+        if reply.get("status") != "ok":
+            print(f"{reply.get('status')}: {reply.get('error')}",
+                  file=sys.stderr)
+            return 1
+        if args.op == "status":
+            print(json.dumps(reply.get("snapshot", {}), indent=2,
+                             sort_keys=True))
+        elif args.format == "json":
+            print(json.dumps(reply.get("metrics", {}), indent=2,
+                             sort_keys=True))
+        elif args.format == "prom":
+            sys.stdout.write(reply.get("exposition", ""))
+        else:
+            if args.watch and sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            for line in _metrics_summary_lines(reply.get("metrics", {})):
+                print(line)
+        if not args.watch:
+            return 0
+        sys.stdout.flush()
+        try:
+            time.sleep(max(args.interval, 0.1))
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_request(args) -> int:
+    import json
+
+    from repro.obs.tracing import Span
+    from repro.service import daemon as svc_daemon
+
+    if args.op != "simulate":
+        return _request_introspect(args)
+
+    # The client originates the trace: its span context travels in-band
+    # on the simulate op, and the daemon's svc.request span joins it --
+    # one trace from this process into the broker.  The span record
+    # lands in whatever obslog sink this process has armed (--log /
+    # REPRO_OBSLOG), which is the daemon's stream when they share it.
+    client_span = Span("client.request", role="client",
+                       workload=args.workload, gpu=args.gpu,
+                       strategy=args.strategy)
     payload = {
         "op": "simulate",
         "workload": args.workload,
         "gpu": args.gpu,
         "strategy": args.strategy,
+        "trace": client_span.context.to_dict(),
     }
     if args.deadline is not None:
         payload["deadline"] = args.deadline
@@ -993,11 +1184,10 @@ def _cmd_request(args) -> int:
             payload, socket_path=args.socket, timeout=args.timeout
         )
     except OSError as exc:
-        print(f"error: cannot reach daemon at "
-              f"{svc_daemon.default_socket_path() if args.socket is None else args.socket}: "
-              f"{exc}", file=sys.stderr)
-        return 2
+        client_span.end(status="error", error="unreachable")
+        return _unreachable(args, svc_daemon, exc)
     status = reply.get("status")
+    client_span.end(status=status)
     if args.format == "json":
         print(json.dumps(reply, indent=2, sort_keys=True))
     elif status == "ok":
@@ -1020,6 +1210,129 @@ def _cmd_request(args) -> int:
     if status == "deadline":
         return 4
     return 1
+
+
+def _trace_engine_telemetry(spans):
+    """Re-capture engine telemetry for the traced cell, or None.
+
+    The simulation is deterministic, so re-running the traced
+    ``workload|gpu|strategy`` cell reproduces the exact engine phase
+    spans the worker executed -- no sim-time telemetry has to ride the
+    obslog for the stitched view to be faithful."""
+    cell = next(
+        (s.get("cell") for s in spans
+         if s.get("cell") and s.get("name") in (
+             "svc.execute", "cell.execute", "svc.request")),
+        None,
+    )
+    if not cell or str(cell).count("|") != 2:
+        return None, None
+    workload, gpu_name, strategy_name = str(cell).split("|")
+    try:
+        from repro.experiments.runner import make_strategy
+        from repro.gpu import SIMULATED_GPUS
+        from repro.profiling import capture_timeline
+
+        trace = load_workload(workload).capture_trace()
+        telemetry = capture_timeline(
+            trace, SIMULATED_GPUS[gpu_name], make_strategy(strategy_name)
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"warning: cannot re-simulate cell {cell!r} for engine "
+              f"spans: {exc}", file=sys.stderr)
+        return None, cell
+    return telemetry, cell
+
+
+def _print_span_tree(spans) -> None:
+    """Indented parent->child listing of one trace's spans."""
+    children: "dict[str | None, list[dict]]" = {}
+    ids = {s["span_id"] for s in spans}
+    for span in spans:
+        parent = span.get("parent_id")
+        children.setdefault(parent if parent in ids else None,
+                            []).append(span)
+
+    def walk(parent, depth):
+        for span in children.get(parent, []):
+            attrs = " ".join(
+                f"{key}={span[key]}"
+                for key in ("role", "outcome", "status", "source", "cell",
+                            "attempt", "fanout")
+                if key in span
+            )
+            print(f"  {'  ' * depth}{span['name']:<{24 - 2 * depth}} "
+                  f"{span['dur_ms']:>9.3f} ms  {attrs}")
+            walk(span["span_id"], depth + 1)
+
+    walk(None, 0)
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro import obslog
+    from repro.profiling import (
+        service_trace_ids,
+        spans_from_obslog,
+        stitch_service_trace,
+    )
+
+    try:
+        events = obslog.read_events(args.obslog)
+    except OSError as exc:
+        print(f"error: cannot read obslog {args.obslog!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    spans = spans_from_obslog(events)
+    if args.list:
+        counts: "dict[str, int]" = {}
+        for span in spans:
+            counts[span["trace_id"]] = counts.get(span["trace_id"], 0) + 1
+        for tid in service_trace_ids(events):
+            print(f"{tid}  {counts[tid]} spans")
+        return 0
+    if not spans:
+        print(f"error: no span records in {args.obslog!r} "
+              "(was the request made with `repro request`?)",
+              file=sys.stderr)
+        return 2
+
+    trace_id = args.trace_id
+    if trace_id is not None and not any(
+            s["trace_id"] == trace_id for s in spans):
+        print(f"error: no spans for trace {trace_id!r} "
+              "(see --list)", file=sys.stderr)
+        return 2
+
+    telemetry = None
+    if not args.no_engine:
+        selected = [s for s in spans
+                    if trace_id is None or s["trace_id"] == trace_id]
+        telemetry, _cell = _trace_engine_telemetry(selected or spans)
+
+    stitched = stitch_service_trace(events, trace_id=trace_id,
+                                    telemetry=telemetry)
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            json.dump(stitched, handle)
+        print(f"stitched trace written: {args.out} "
+              "(open at https://ui.perfetto.dev)")
+
+    if args.format == "json":
+        print(json.dumps(stitched, indent=2, sort_keys=True))
+        return 0
+    meta = stitched.get("otherData", {})
+    shown = meta.get("trace_id", "?")
+    own = [s for s in spans if s["trace_id"] == shown]
+    engine_events = sum(
+        1 for e in stitched.get("traceEvents", [])
+        if e.get("pid") != 100 and e.get("ph") != "M"
+    )
+    print(f"trace {shown}: {len(own)} wall-clock spans, "
+          f"{engine_events} engine events")
+    _print_span_tree(own)
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -1103,6 +1416,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": lambda: _cmd_bench(args),
         "serve": lambda: _cmd_serve(args),
         "request": lambda: _cmd_request(args),
+        "trace": lambda: _cmd_trace(args),
         "cache": lambda: _cmd_cache(args),
         "lint": lambda: _cmd_lint(args),
     }

@@ -60,6 +60,7 @@ from repro import obslog
 from repro.core.base import AtomicStrategy
 from repro.gpu.config import GPUConfig
 from repro.gpu.stats import SimResult
+from repro.obs import metrics as obsmetrics
 from repro.trace.events import KernelTrace
 
 __all__ = [
@@ -78,6 +79,17 @@ __all__ = [
     "strategy_fingerprint",
     "sweep_age_seconds",
 ]
+
+
+def _metric(name: str, help_text: str) -> None:
+    """Bump one counter in the process-global metrics registry.
+
+    Pure in-memory (legal from any context); each process counts its
+    own cache traffic, so the daemon's scrape reports the broker
+    process while spawn workers keep their own tallies.
+    """
+    obsmetrics.registry().counter(name, help_text).inc()
+
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 NO_CACHE_ENV = "REPRO_NO_DISK_CACHE"
@@ -358,6 +370,7 @@ class DiskCache:
             result = SimResult.from_dict(payload["result"])
         except FileNotFoundError:
             self.stats.misses += 1
+            _metric("repro_cache_misses_total", "Disk cache misses")
             obslog.emit("cache.miss", key=key)
             return None
         except (OSError, ValueError, KeyError, TypeError):
@@ -366,11 +379,15 @@ class DiskCache:
             if path.exists():
                 self._quarantine(path)
                 self.stats.quarantined += 1
+                _metric("repro_cache_quarantined_total",
+                        "Corrupt entries quarantined")
                 obslog.emit("cache.quarantine", key=key)
+            _metric("repro_cache_misses_total", "Disk cache misses")
             obslog.emit("cache.miss", key=key, corrupt=True)
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(text)
+        _metric("repro_cache_hits_total", "Disk cache hits")
         obslog.emit("cache.hit", key=key)
         return result
 
@@ -400,6 +417,7 @@ class DiskCache:
             return
         self.stats.writes += 1
         self.stats.bytes_written += len(payload)
+        _metric("repro_cache_writes_total", "Disk cache entry writes")
         obslog.emit("cache.write", key=key)
 
     # ------------------------------------------------------------------ #

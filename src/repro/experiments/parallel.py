@@ -43,6 +43,7 @@ from pathlib import Path
 
 from repro import obslog
 from repro.experiments import diskcache, faults, iosan, runner
+from repro.obs import tracing
 from repro.experiments.manifest import RunManifest
 from repro.experiments.resilience import (
     CellReport,
@@ -175,13 +176,24 @@ def _worker_trace(workload: str) -> KernelTrace:
 
 
 def _run_spec(spec: CellSpec, attempt: int) -> SimResult:
-    """Worker task: simulate one cell (with fault hooks around it)."""
+    """Worker task: simulate one cell (with fault hooks around it).
+
+    The whole task is wrapped in a ``cell.execute`` span parented on
+    the session root context carried through ``REPRO_TRACE`` (declared
+    in the spawn-carry set; per-request context cannot reach workers --
+    they snapshot the environment at pool construction).  The stitcher
+    correlates worker spans with the broker's per-attempt spans by
+    ``(cell, attempt)``.  With no obslog sink armed the span emission
+    is a no-op, so the fault/simulate path stays byte-identical.
+    """
     cell = spec.cell_id
-    faults.on_attempt(cell, attempt)
-    trace = _worker_trace(spec.workload)
-    strategy = runner.make_strategy(spec.strategy)
-    result = runner.simulate_cell(trace, spec.gpu, strategy)
-    _maybe_corrupt_entry(spec, trace, attempt)
+    with tracing.span("cell.execute", parent=tracing.carried(),
+                      role="worker", cell=cell, attempt=attempt):
+        faults.on_attempt(cell, attempt)
+        trace = _worker_trace(spec.workload)
+        strategy = runner.make_strategy(spec.strategy)
+        result = runner.simulate_cell(trace, spec.gpu, strategy)
+        _maybe_corrupt_entry(spec, trace, attempt)
     return result
 
 

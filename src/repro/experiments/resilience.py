@@ -43,6 +43,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
 from repro import obslog
+from repro.obs import metrics as obsmetrics
 
 __all__ = [
     "CELL_TIMEOUT_ENV",
@@ -260,6 +261,21 @@ class CellExecutionError(RuntimeError):
         self.report = report
 
 
+def _count_attempt(outcome: str) -> None:
+    """Per-process attempt-outcome counter (pure in-memory)."""
+    obsmetrics.registry().counter(
+        "repro_retry_attempts_total", "Cell attempt outcomes",
+        labelnames=("outcome",),
+    ).inc(outcome=outcome)
+
+
+def _count_backoff(delay: float) -> None:
+    obsmetrics.registry().counter(
+        "repro_retry_backoff_seconds_total",
+        "Total deterministic backoff slept before retries",
+    ).inc(delay)
+
+
 def _abandon_pool(pool) -> None:
     """Shut a (possibly broken or hung) pool down without waiting.
 
@@ -312,6 +328,7 @@ def run_resilient(
             attempt=attempt, outcome=outcome,
             duration=duration, error=error,
         ))
+        _count_attempt(outcome)
         obslog.emit("cell.attempt", cell=report.cells[index].cell,
                     attempt=attempt, outcome=outcome, duration=duration,
                     error=error)
@@ -320,6 +337,10 @@ def run_resilient(
         nonlocal pool
         _abandon_pool(pool)
         report.pool_restarts += 1
+        obsmetrics.registry().counter(
+            "repro_runner_pool_restarts_total",
+            "Parallel-runner pool respawns",
+        ).inc()
         obslog.emit("pool.restart", restarts=report.pool_restarts)
         pool = pool_factory()
 
@@ -329,6 +350,7 @@ def run_resilient(
             delay = policy.delay(cell.key, attempt + 1)
             due = time.monotonic() + delay
             delayed.append((due, index, attempt + 1))
+            _count_backoff(delay)
             obslog.emit("cell.retry", cell=cell.cell,
                         attempt=attempt + 1, backoff=delay)
             return

@@ -69,7 +69,8 @@ class LintConfig:
     clock_names: tuple[str, ...] = ("clock_ghz",)
     #: Package directories in scope for the process-safety analyses
     #: (ARC009-ARC012): code that runs on both sides of the spawn pool.
-    procsafety_packages: tuple[str, ...] = ("experiments", "service")
+    procsafety_packages: tuple[str, ...] = ("experiments", "obs",
+                                            "service")
     #: Module stems (filenames sans ``.py``) outside those packages that
     #: the process-safety analyses also cover -- the obslog sink is
     #: written from parent and workers alike.
@@ -89,6 +90,7 @@ class LintConfig:
         "REPRO_LOOPSAN_LOG",
         "REPRO_LOOPSAN_SLOW_MS",
         "REPRO_LOG_LEVEL",
+        "REPRO_TRACE",
     )
     #: Env-key prefixes the spawn-carry discipline applies to; reads of
     #: foreign variables (``HOME``, ``PATH``) are not ours to police.
@@ -107,7 +109,7 @@ class LintConfig:
     #: Package directories in scope for the async-safety rules
     #: (ARC013-ARC016): code that runs on (or right next to) the
     #: service's asyncio event loop.
-    asyncsafety_packages: tuple[str, ...] = ("service",)
+    asyncsafety_packages: tuple[str, ...] = ("obs", "service")
     #: Alias-resolved call paths that block the calling thread -- the
     #: seeds of the blocking-call classifier.  These are the project's
     #: *real* blockers (sync file I/O, sleeps, subprocesses, sockets,

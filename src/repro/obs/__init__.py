@@ -1,0 +1,23 @@
+"""Unified observability: wall-clock tracing + service metrics.
+
+Two submodules, one story:
+
+* :mod:`repro.obs.tracing` -- request-scoped span model emitted through
+  the obslog stream; the ``repro trace`` stitcher
+  (:func:`repro.profiling.timeline.stitch_service_trace`) merges these
+  wall-clock spans with the engine's sim-time telemetry into one
+  Perfetto timeline.
+* :mod:`repro.obs.metrics` -- deterministic counter/gauge/histogram
+  registry behind the daemon ``metrics`` op and the
+  ``repro serve --metrics-port`` Prometheus endpoint.
+
+This package sits in both arclint safety scopes: process-safety
+(ARC009-012 -- it adds no file-write sites; spans ride
+:func:`repro.obslog.emit`) and async-safety (ARC013-016 -- metric
+updates are pure in-memory, span emission routes through the
+allowlisted obslog writer).
+"""
+
+from repro.obs import metrics, tracing
+
+__all__ = ["metrics", "tracing"]

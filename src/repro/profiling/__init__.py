@@ -15,6 +15,9 @@ from repro.profiling.timeline import (
     capture_timeline,
     load_timeline,
     save_timeline,
+    service_trace_ids,
+    spans_from_obslog,
+    stitch_service_trace,
     summarize_timeline,
     to_chrome_trace,
 )
@@ -30,6 +33,9 @@ __all__ = [
     "capture_timeline",
     "load_timeline",
     "save_timeline",
+    "service_trace_ids",
+    "spans_from_obslog",
+    "stitch_service_trace",
     "summarize_timeline",
     "to_chrome_trace",
 ]

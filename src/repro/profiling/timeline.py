@@ -36,6 +36,9 @@ __all__ = [
     "capture_timeline",
     "load_timeline",
     "save_timeline",
+    "service_trace_ids",
+    "spans_from_obslog",
+    "stitch_service_trace",
     "summarize_timeline",
     "to_chrome_trace",
 ]
@@ -375,3 +378,153 @@ def summarize_timeline(telemetry: Telemetry, top_k: int = 5,
         interconnect_utilization=frac(ic_busy),
         hot_slots=hot,
     )
+
+
+# --------------------------------------------------------------------- #
+# Service-trace stitching (wall-clock spans + sim-time telemetry)
+# --------------------------------------------------------------------- #
+
+#: Chrome-trace process id for the wall-clock request path.  Engine
+#: telemetry keeps pids 0-4 (above), so one merged export shows both
+#: process families side by side without id collisions.
+_PID_SERVICE = 100
+
+#: Track order on the service process: client first, then broker, then
+#: workers, mirroring causality top-to-bottom in Perfetto.
+_ROLE_TIDS = {"client": 0, "broker": 1, "worker": 2}
+
+_SPAN_CORE_KEYS = frozenset({
+    "event", "ts", "pid", "name", "trace_id", "span_id", "parent_id",
+    "start_unix", "dur_ms",
+})
+
+
+def spans_from_obslog(events) -> "list[dict]":
+    """The ``span`` records of an obslog event list, oldest first.
+
+    Tolerates everything :func:`repro.obslog.read_events` tolerates --
+    interleaved multi-process writers, torn tails -- plus records from
+    older schema versions (anything without the span core keys is
+    skipped, not fatal)."""
+    spans = [
+        e for e in events
+        if e.get("event") == "span"
+        and all(k in e for k in ("name", "trace_id", "span_id",
+                                 "start_unix", "dur_ms"))
+    ]
+    spans.sort(key=lambda s: (s["start_unix"], s["span_id"]))
+    return spans
+
+
+def service_trace_ids(events) -> "list[str]":
+    """Distinct trace ids in chronological order of first span."""
+    seen: "dict[str, None]" = {}
+    for span in spans_from_obslog(events):
+        seen.setdefault(span["trace_id"], None)
+    return list(seen)
+
+
+def _pick_trace(spans) -> "str | None":
+    """Default trace: the one with the most spans (ties: earliest).
+
+    A request that executed (queue wait, attempts, worker span) beats a
+    memo hit's two-span trace, which is what a human asking "show me a
+    request" wants to see."""
+    counts: "dict[str, int]" = {}
+    first: "dict[str, float]" = {}
+    for span in spans:
+        tid = span["trace_id"]
+        counts[tid] = counts.get(tid, 0) + 1
+        first.setdefault(tid, span["start_unix"])
+    if not counts:
+        return None
+    return min(counts, key=lambda t: (-counts[t], first[t]))
+
+
+def _span_args(span: dict) -> dict:
+    args = {k: v for k, v in span.items()
+            if k not in _SPAN_CORE_KEYS and v is not None}
+    args["span_id"] = span["span_id"]
+    if span.get("parent_id"):
+        args["parent_id"] = span["parent_id"]
+    return args
+
+
+def stitch_service_trace(events, trace_id: "str | None" = None,
+                         telemetry: "Telemetry | None" = None) -> dict:
+    """Merge one request's wall-clock spans with engine telemetry.
+
+    ``events`` is a decoded obslog (:func:`repro.obslog.read_events`);
+    ``trace_id`` selects the request (default: the busiest trace).  The
+    wall-clock spans become ``ph: "X"`` complete events on the service
+    process (client / broker / worker tracks); when ``telemetry`` is
+    given, its sim-time Chrome events are time-shifted so cycle zero
+    lands on the traced request's successful attempt span -- one
+    Perfetto timeline then reads from socket accept down to LSU/ROP
+    busy intervals.  (Sim-time durations are simulated-GPU time, not
+    host time; the anchor aligns *causality*, not clock rates.)
+
+    Raises ``ValueError`` when the obslog holds no spans for the trace.
+    """
+    spans = spans_from_obslog(events)
+    if trace_id is None:
+        trace_id = _pick_trace(spans)
+    selected = [s for s in spans if s["trace_id"] == trace_id]
+    if not selected:
+        raise ValueError(
+            f"no span records for trace {trace_id!r}: was the obslog "
+            "armed (REPRO_OBSLOG / repro serve --log) while the request "
+            "ran?"
+        )
+    t0 = min(s["start_unix"] for s in selected)
+
+    events_out: "list[dict]" = [
+        {"name": "process_name", "ph": "M", "pid": _PID_SERVICE, "tid": 0,
+         "args": {"name": f"request path (trace {trace_id[:8]})"}},
+    ]
+    roles_seen: "dict[int, str]" = {}
+    timed: "list[dict]" = []
+    for span in selected:
+        role = str(span.get("role", "client"))
+        tid = _ROLE_TIDS.get(role, len(_ROLE_TIDS))
+        roles_seen.setdefault(tid, role)
+        timed.append({
+            "name": span["name"],
+            "cat": "service",
+            "ph": "X",
+            "pid": _PID_SERVICE,
+            "tid": tid,
+            "ts": (span["start_unix"] - t0) * 1e6,
+            "dur": max(span["dur_ms"], 0.0) * 1e3,
+            "args": _span_args(span),
+        })
+    for tid, role in sorted(roles_seen.items()):
+        events_out.append({"name": "thread_name", "ph": "M",
+                           "pid": _PID_SERVICE, "tid": tid,
+                           "args": {"name": role}})
+    timed.sort(key=lambda ev: ev["ts"])
+
+    other = {"trace_id": trace_id, "span_count": len(selected)}
+    if telemetry is not None:
+        anchored = [s for s in selected
+                    if s["name"] == "svc.attempt"
+                    and s.get("outcome") == "ok"]
+        anchored = anchored or [s for s in selected
+                                if s["name"] in ("cell.execute",
+                                                 "svc.execute")]
+        anchor = anchored[-1]["start_unix"] if anchored else t0
+        offset_us = (anchor - t0) * 1e6
+        engine = to_chrome_trace(telemetry)
+        for ev in engine["traceEvents"]:
+            if "ts" in ev:
+                ev = dict(ev)
+                ev["ts"] = ev["ts"] + offset_us
+            timed.append(ev)
+        other["engine"] = dict(engine.get("otherData", {}))
+        other["anchor_offset_us"] = offset_us
+
+    return {
+        "traceEvents": events_out + timed,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }

@@ -53,6 +53,8 @@ from pathlib import Path
 
 from repro import obslog
 from repro.experiments import diskcache, faults, parallel, runner
+from repro.obs import metrics as obsmetrics
+from repro.obs.tracing import Span
 from repro.experiments.manifest import RunManifest
 from repro.experiments.resilience import RetryPolicy
 from repro.gpu import SimResult
@@ -112,6 +114,13 @@ class _Entry:
     logical: str
     waiters: list = field(default_factory=list)
     deadlines: list = field(default_factory=list)
+    #: Tracing: the admitting request's span context (``ctx``) parents
+    #: both the queue-wait span (enqueue -> dispatch) and the shared
+    #: execution span (dispatch -> completion), which fans out to every
+    #: coalesced waiter.
+    ctx: object = None
+    queue_span: "Span | None" = None
+    exec_span: "Span | None" = None
 
     def effective_deadline(self) -> "float | None":
         """The most generous waiter deadline (None if any waiter has
@@ -138,6 +147,7 @@ class Broker:
         clock=time.monotonic,
         paused: bool = False,
         session: "str | None" = None,
+        metrics: "obsmetrics.MetricsRegistry | None" = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -163,6 +173,92 @@ class Broker:
         self._spooled: "set[str]" = set()
         self._journal: "RunManifest | None" = None
         self._journalled: "set[str]" = set()
+        self._t0 = self._clock()
+        #: Recent wall-clock span durations (ms) by span name, kept in
+        #: memory for the bench breakdown -- bounded so a long-lived
+        #: daemon cannot grow it without bound.
+        self.span_samples: "dict[str, list[float]]" = {}
+        self.metrics = (metrics if metrics is not None
+                        else obsmetrics.registry())
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        m = self.metrics
+        self._m_requests = m.counter(
+            "repro_service_requests_total", "Requests received")
+        self._m_admitted = m.counter(
+            "repro_service_admitted_total", "Requests admitted to queue")
+        self._m_coalesced = m.counter(
+            "repro_service_coalesced_total",
+            "Requests coalesced onto an in-flight execution")
+        self._m_memo = m.counter(
+            "repro_service_memo_hits_total",
+            "Requests answered from the session memo")
+        self._m_shed = m.counter(
+            "repro_service_shed_total", "Requests shed at admission")
+        self._m_degraded = m.counter(
+            "repro_service_degraded_total", "Degraded executions",
+            labelnames=("reason",))
+        self._m_deadline_miss = m.counter(
+            "repro_service_deadline_misses_total",
+            "Requests expired before completion")
+        self._m_executions = m.counter(
+            "repro_service_executions_total", "Pool attempt submissions")
+        self._m_failures = m.counter(
+            "repro_service_failures_total", "Failed attempts")
+        self._m_recoveries = m.counter(
+            "repro_service_journal_recoveries_total",
+            "Crash recoveries served from journal + disk cache")
+        self._m_completed = m.counter(
+            "repro_service_completed_total", "Completed executions",
+            labelnames=("source",))
+        self._m_attempts = m.counter(
+            "repro_service_attempts_total", "Attempt outcomes",
+            labelnames=("outcome",))
+        self._m_queue_depth = m.gauge(
+            "repro_service_queue_depth", "Configured queue capacity")
+        self._m_queue_size = m.gauge(
+            "repro_service_queue_size", "Live queue occupancy")
+        self._m_inflight = m.gauge(
+            "repro_service_inflight", "In-flight unique executions")
+        self._m_deadline_budget = m.histogram(
+            "repro_service_deadline_budget_seconds",
+            "Deadline budget declared at admission")
+        self._m_latency = m.histogram(
+            "repro_service_request_latency_seconds",
+            "Admission-to-response latency")
+        self._m_queue_wait = m.histogram(
+            "repro_service_queue_wait_seconds",
+            "Enqueue-to-dispatch wait")
+        self._m_execute = m.histogram(
+            "repro_service_execute_seconds",
+            "Dispatch-to-completion execution time")
+        self._m_queue_depth.set(self.queue_depth)
+
+    # ----------------------------------------------------------------- #
+    # Telemetry plumbing
+    # ----------------------------------------------------------------- #
+
+    def emit_event(self, event: str, **fields) -> None:
+        """Emit one ``svc.*`` obslog event stamped with ``elapsed_ms``.
+
+        Every service event shares the broker's monotonic clock origin,
+        so post-mortem readers can order events without trusting
+        wall-clock ``ts`` across processes.
+        """
+        fields.setdefault(
+            "elapsed_ms", round((self._clock() - self._t0) * 1000.0, 3)
+        )
+        obslog.emit(event, **fields)
+
+    def _sample_span(self, name: str, dur_ms: float) -> None:
+        samples = self.span_samples.setdefault(name, [])
+        if len(samples) < 4096:
+            samples.append(dur_ms)
+
+    def _refresh_gauges(self) -> None:
+        self._m_queue_size.set(self._queue.qsize() if self._started else 0)
+        self._m_inflight.set(len(self._inflight))
 
     # ----------------------------------------------------------------- #
     # Lifecycle
@@ -197,6 +293,8 @@ class Broker:
             breaker=self._breaker,
             probe_timeout=self.probe_timeout,
             clock=self._clock,
+            emit=self.emit_event,
+            metrics=self.metrics,
         )
         self._supervisor.start()
         # One thread suffices for serial degradation: it exists so an
@@ -218,9 +316,10 @@ class Broker:
             for _ in range(max(1, self.concurrency))
         ]
         self._started = True
-        obslog.emit("svc.start", jobs=self.jobs, queue_depth=self.queue_depth,
-                    concurrency=self.concurrency, session=self._session,
-                    degrade=self.degrade_enabled)
+        self.emit_event("svc.start", jobs=self.jobs,
+                        queue_depth=self.queue_depth,
+                        concurrency=self.concurrency, session=self._session,
+                        degrade=self.degrade_enabled)
 
     async def stop(self, drain: bool = True) -> None:
         """Stop dispatchers and the pool; optionally drain queued work."""
@@ -238,7 +337,7 @@ class Broker:
             self._journal.discard()
         self._spool.cleanup()
         self._started = False
-        obslog.emit("svc.stop", **self.stats.as_dict())
+        self.emit_event("svc.stop", **self.stats.as_dict())
 
     def pause(self) -> None:
         """Hold dispatchers off the queue (admission keeps running)."""
@@ -257,13 +356,45 @@ class Broker:
         Everything up to the enqueue (memo lookup, coalescing, admission
         control) happens synchronously before the first ``await``, so
         requests submitted in order are admitted in order -- which is
-        what makes coalesce/shed counts deterministic under test.
+        what makes coalesce/shed counts deterministic under test.  (The
+        tracing wrapper preserves that: ``await`` on a fresh coroutine
+        runs it synchronously up to its first real suspension.)
+
+        The whole call is covered by a ``svc.request`` span parented on
+        the client-supplied trace context (carried in-band through the
+        JSON protocol, never through the environment -- workers snapshot
+        env at pool construction).  Tracing changes no control flow, so
+        responses stay bit-identical to the tracing-off path.
 
         Raises :class:`RequestShed`, :class:`DeadlineExceeded` or
         :class:`RequestFailed`.
         """
         if not self._started:
             raise ServiceError("broker is not started")
+        req_span = Span("svc.request", parent=request.trace_context(),
+                        role="broker")
+        try:
+            response = await self._submit(request, req_span)
+        except RequestShed:
+            req_span.end(outcome="shed")
+            raise
+        except DeadlineExceeded:
+            req_span.end(outcome="deadline")
+            raise
+        except ServiceError as exc:
+            req_span.end(outcome="error", error=type(exc).__name__)
+            raise
+        self._m_latency.observe(response.latency_ms / 1000.0)
+        response.trace_id = req_span.context.trace_id
+        response.span_id = req_span.context.span_id
+        extra = ({"exec_span_id": response.exec_span_id}
+                 if response.exec_span_id else {})
+        req_span.end(outcome=response.source, cell=response.cell,
+                     coalesced=response.coalesced, **extra)
+        return response
+
+    async def _submit(self, request: SimRequest,
+                      req_span: Span) -> ServiceResponse:
         admitted_at = self._clock()
         config = runner._gpu_by_name(request.gpu)
         spec = parallel.CellSpec(request.workload, config, request.strategy)
@@ -278,12 +409,17 @@ class Broker:
         deadline = (None if request.deadline is None
                     else admitted_at + request.deadline)
         self.stats.requests += 1
-        obslog.emit("svc.accept", cell=cell, key=key,
-                    deadline=request.deadline)
+        self._m_requests.inc()
+        if request.deadline is not None:
+            self._m_deadline_budget.observe(request.deadline)
+        self.emit_event("svc.accept", cell=cell, key=key,
+                        deadline=request.deadline,
+                        trace_id=req_span.context.trace_id)
 
         memo = self._results.get(key)
         if memo is not None:
             self.stats.memo_hits += 1
+            self._m_memo.inc()
             return self._response(cell, key, memo, "memo", admitted_at)
 
         entry = self._inflight.get(key)
@@ -292,8 +428,9 @@ class Broker:
             entry.waiters.append(waiter)
             entry.deadlines.append(deadline)
             self.stats.coalesced += 1
-            obslog.emit("svc.coalesce", cell=cell, key=key,
-                        waiters=len(entry.waiters))
+            self._m_coalesced.inc()
+            self.emit_event("svc.coalesce", cell=cell, key=key,
+                            waiters=len(entry.waiters))
             return await self._await_waiter(
                 waiter, cell, key, request.deadline, deadline, admitted_at,
                 coalesced=True,
@@ -315,6 +452,9 @@ class Broker:
 
         self._ensure_spooled(request.workload, trace)
         entry = _Entry(spec=spec, cell=cell, key=key, logical=logical)
+        entry.ctx = req_span.context
+        entry.queue_span = Span("svc.queue_wait", parent=req_span.context,
+                                role="broker", cell=cell, key=key)
         waiter = self._loop.create_future()
         entry.waiters.append(waiter)
         entry.deadlines.append(deadline)
@@ -323,6 +463,8 @@ class Broker:
         # await happened since.
         self._queue.put_nowait(entry)
         self.stats.admitted += 1
+        self._m_admitted.inc()
+        self._refresh_gauges()
         return await self._await_waiter(
             waiter, cell, key, request.deadline, deadline, admitted_at,
             coalesced=False,
@@ -335,12 +477,13 @@ class Broker:
         if stale is not None:
             stale_key, result = stale
             self.stats.degraded += 1
+            self._m_degraded.inc(reason="queue-full")
             warning = (
                 "served stale: queue saturated; result computed for an "
                 f"earlier engine fingerprint (key {stale_key[:12]}...)"
             )
-            obslog.emit("svc.degrade", cell=cell, key=key,
-                        reason="queue-full", stale_key=stale_key)
+            self.emit_event("svc.degrade", cell=cell, key=key,
+                            reason="queue-full", stale_key=stale_key)
             response = self._response(
                 cell, stale_key, result, "stale", admitted_at
             )
@@ -348,15 +491,16 @@ class Broker:
             response.warning = warning
             return response
         self.stats.shed += 1
+        self._m_shed.inc()
         # Post-mortem correlation needs the state *at shed time*: the
         # live occupancy (queue_size; queue_depth is the configured
         # capacity) and how much of the request's budget was left.
         remaining = (None if deadline is None
                      else max(0.0, deadline - self._clock()))
-        obslog.emit("svc.shed", cell=cell, key=key,
-                    queue_depth=self.queue_depth,
-                    queue_size=self._queue.qsize(),
-                    deadline_remaining=remaining)
+        self.emit_event("svc.shed", cell=cell, key=key,
+                        queue_depth=self.queue_depth,
+                        queue_size=self._queue.qsize(),
+                        deadline_remaining=remaining)
         raise RequestShed(cell, self.queue_depth)
 
     async def _await_waiter(self, waiter, cell: str, key: str,
@@ -367,13 +511,17 @@ class Broker:
         timeout = (None if deadline is None
                    else max(0.0, deadline - self._clock()))
         try:
-            result, source = await asyncio.wait_for(waiter, timeout)
+            result, source, exec_span_id = await asyncio.wait_for(
+                waiter, timeout
+            )
         except asyncio.TimeoutError:
             self.stats.deadline_misses += 1
-            obslog.emit("svc.deadline", cell=cell, deadline=deadline_s)
+            self._m_deadline_miss.inc()
+            self.emit_event("svc.deadline", cell=cell, deadline=deadline_s)
             raise DeadlineExceeded(cell, deadline_s) from None
         response = self._response(cell, key, result, source, admitted_at)
         response.coalesced = coalesced
+        response.exec_span_id = exec_span_id
         return response
 
     def _response(self, cell: str, key: str, result: SimResult,
@@ -414,6 +562,17 @@ class Broker:
                 self._queue.task_done()
 
     async def _execute(self, entry: _Entry) -> None:
+        if entry.queue_span is not None:
+            wait_ms = entry.queue_span.end(queue_size=self._queue.qsize())
+            self._sample_span("svc.queue_wait", wait_ms)
+            self._m_queue_wait.observe(wait_ms / 1000.0)
+            entry.queue_span = None
+        parent = entry.ctx
+        # One execution span covers every attempt and fans out to every
+        # coalesced waiter (its context rides the waiter result tuple).
+        entry.exec_span = Span("svc.execute", parent=parent, role="broker",
+                               cell=entry.cell, key=entry.key)
+        self._refresh_gauges()
         last_error: "BaseException | str" = "no attempt ran"
         for attempt in range(1, self.policy.max_attempts + 1):
             deadline = entry.effective_deadline()
@@ -421,15 +580,24 @@ class Broker:
                          else deadline - self._clock())
             if remaining is not None and remaining <= 0:
                 self.stats.deadline_misses += 1
-                obslog.emit("svc.deadline", cell=entry.cell, in_queue=True)
+                self._m_deadline_miss.inc()
+                self.emit_event("svc.deadline", cell=entry.cell,
+                                in_queue=True)
                 self._fail(entry, DeadlineExceeded(entry.cell, None))
                 return
             policy = self.policy.clamped(remaining)
+            attempt_span = Span(
+                "svc.attempt", parent=entry.exec_span.context,
+                role="broker", cell=entry.cell, attempt=attempt,
+            )
             pool = await self._supervisor.acquire()
             if pool is None:
+                attempt_span.end(outcome="breaker-open")
+                self._m_attempts.inc(outcome="breaker-open")
                 await self._degrade_inproc(entry, attempt, "breaker-open")
                 return
             self.stats.executions += 1
+            self._m_executions.inc()
             self._executions_by_key[entry.key] = (
                 self._executions_by_key.get(entry.key, 0) + 1
             )
@@ -450,16 +618,17 @@ class Broker:
                 outcome = "timeout"
             except asyncio.CancelledError:
                 if not cell_future.cancelled():
+                    attempt_span.end(outcome="cancelled")
                     raise  # our own task was cancelled (shutdown)
                 # The pool was abandoned under us by another dispatcher's
                 # failure; treat like a crash of our own future.
-                if self._recover_from_journal(entry):
+                if self._recover_from_journal(entry, attempt_span):
                     return
                 last_error = "pool abandoned mid-flight"
                 outcome = "crash"
             except BrokenProcessPool as exc:
                 self._supervisor.fail("crash")
-                if self._recover_from_journal(entry):
+                if self._recover_from_journal(entry, attempt_span):
                     return
                 last_error = exc
                 outcome = "crash"
@@ -470,7 +639,7 @@ class Broker:
                     # ("cannot schedule new futures after shutdown") --
                     # a pool-level incident, not a cell failure.
                     self._supervisor.fail("crash")
-                    if self._recover_from_journal(entry):
+                    if self._recover_from_journal(entry, attempt_span):
                         return
                     last_error = exc
                     outcome = "crash"
@@ -483,11 +652,16 @@ class Broker:
                     outcome = "error"
             else:
                 self._supervisor.ok()
+                attempt_span.end(outcome="ok")
+                self._m_attempts.inc(outcome="ok")
                 self._complete(entry, result, "worker")
                 return
             self.stats.failures += 1
-            obslog.emit("svc.attempt", cell=entry.cell, attempt=attempt,
-                        outcome=outcome, error=repr(last_error))
+            self._m_failures.inc()
+            attempt_span.end(outcome=outcome)
+            self._m_attempts.inc(outcome=outcome)
+            self.emit_event("svc.attempt", cell=entry.cell, attempt=attempt,
+                            outcome=outcome, error=repr(last_error))
             if attempt < self.policy.max_attempts:
                 await asyncio.sleep(self.policy.delay(entry.key, attempt + 1))
         await self._degrade_inproc(
@@ -503,8 +677,9 @@ class Broker:
         resort, mirroring the resilience layer's fallback (and the
         paper's own philosophy -- degrade, don't fail)."""
         self.stats.degraded += 1
-        obslog.emit("svc.degrade", cell=entry.cell, reason=reason,
-                    attempt=attempt)
+        self._m_degraded.inc(reason=reason)
+        self.emit_event("svc.degrade", cell=entry.cell, reason=reason,
+                        attempt=attempt)
         try:
             result = await self._loop.run_in_executor(
                 self._inproc, parallel._fallback_spec, entry.spec, attempt
@@ -513,11 +688,13 @@ class Broker:
             raise
         except Exception as exc:
             self.stats.failures += 1
+            self._m_failures.inc()
             self._fail(entry, RequestFailed(entry.cell, exc))
             return
         self._complete(entry, result, "inproc")
 
-    def _recover_from_journal(self, entry: _Entry) -> bool:
+    def _recover_from_journal(self, entry: _Entry,
+                              attempt_span: "Span | None" = None) -> bool:
         """After a pool crash, serve the entry from journal + disk cache
         instead of re-executing, when a previous completion wrote both."""
         if entry.key not in self._journalled and self._journal is not None:
@@ -535,8 +712,12 @@ class Broker:
         if result is None:
             return False
         self.stats.journal_recoveries += 1
-        obslog.emit("svc.recover", cell=entry.cell, key=entry.key,
-                    source="journal")
+        self._m_recoveries.inc()
+        if attempt_span is not None:
+            attempt_span.end(outcome="crash", recovered=True)
+            self._m_attempts.inc(outcome="crash")
+        self.emit_event("svc.recover", cell=entry.cell, key=entry.key,
+                        source="journal")
         self._complete(entry, result, "journal")
         return True
 
@@ -560,16 +741,38 @@ class Broker:
             })
             self._journalled.add(entry.key)
         self.stats.completed += 1
-        obslog.emit("svc.finish", cell=entry.cell, key=entry.key,
-                    source=source, waiters=len(entry.waiters))
+        self._m_completed.inc(source=source)
+        exec_span_id = None
+        if entry.exec_span is not None:
+            exec_span_id = entry.exec_span.context.span_id
+            exec_ms = entry.exec_span.end(
+                outcome="ok", source=source, fanout=len(entry.waiters)
+            )
+            self._sample_span("svc.execute", exec_ms)
+            self._m_execute.observe(exec_ms / 1000.0)
+            entry.exec_span = None
+        self._refresh_gauges()
+        self.emit_event("svc.finish", cell=entry.cell, key=entry.key,
+                        source=source, waiters=len(entry.waiters))
         for waiter in entry.waiters:
             if not waiter.done():
-                waiter.set_result((result, source))
+                waiter.set_result((result, source, exec_span_id))
 
     def _fail(self, entry: _Entry, error: ServiceError) -> None:
         self._inflight.pop(entry.key, None)
-        obslog.emit("svc.fail", cell=entry.cell, key=entry.key,
-                    kind=getattr(error, "kind", "error"), error=str(error))
+        if entry.queue_span is not None:
+            entry.queue_span.end(status="error")
+            entry.queue_span = None
+        if entry.exec_span is not None:
+            entry.exec_span.end(
+                outcome="fail", kind=getattr(error, "kind", "error"),
+                fanout=len(entry.waiters),
+            )
+            entry.exec_span = None
+        self._refresh_gauges()
+        self.emit_event("svc.fail", cell=entry.cell, key=entry.key,
+                        kind=getattr(error, "kind", "error"),
+                        error=str(error))
         for waiter in entry.waiters:
             if not waiter.done():
                 waiter.set_exception(error)

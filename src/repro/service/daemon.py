@@ -11,8 +11,19 @@ protocol is one JSON object per line in each direction:
   branch without parsing messages);
 * ``{"op": "status"}`` -> ``{"status": "ok", "snapshot": {...}}`` (the
   broker's counters, queue occupancy and breaker state);
+* ``{"op": "metrics"}`` -> ``{"status": "ok", "metrics": {...},
+  "exposition": "..."}`` -- the broker's metrics registry as a JSON
+  snapshot plus its Prometheus text rendering (the same bytes served on
+  ``--metrics-port``);
 * ``{"op": "shutdown"}`` -> ``{"status": "ok"}``; the daemon drains
   in-flight work and exits.
+
+The ``simulate`` op additionally accepts a ``"trace"`` object
+(``{"trace_id": ..., "span_id": ...}``): the client's span context,
+carried in-band so the broker's ``svc.request`` span joins the client's
+trace.  Trace context never travels through the environment -- spawn
+workers snapshot env at pool construction (arclint ARC011), so only the
+session-scoped ``REPRO_TRACE`` root rides that path.
 
 A unix socket (not TCP) keeps the trust boundary at filesystem
 permissions, and line-delimited JSON keeps the protocol debuggable with
@@ -35,7 +46,6 @@ import socket
 import tempfile
 from pathlib import Path
 
-from repro import obslog
 from repro.experiments import iosan
 from repro.service import loopsan
 from repro.service.broker import Broker
@@ -57,11 +67,13 @@ def default_socket_path() -> Path:
 class ServiceDaemon:
     """Serve one :class:`Broker` over a unix socket until shut down."""
 
-    def __init__(self, broker: Broker, socket_path: "str | Path | None" = None):
+    def __init__(self, broker: Broker, socket_path: "str | Path | None" = None,
+                 metrics_port: "int | None" = None):
         self.broker = broker
         self.socket_path = Path(
             socket_path if socket_path is not None else default_socket_path()
         )
+        self.metrics_port = metrics_port
 
     async def run(self, ready: "asyncio.Event | None" = None) -> None:
         """Start the broker, listen, and block until a shutdown op."""
@@ -77,7 +89,15 @@ class ServiceDaemon:
         server = await asyncio.start_unix_server(
             self._handle, path=str(self.socket_path)
         )
-        obslog.emit("svc.listen", socket=str(self.socket_path))
+        metrics_server = None
+        if self.metrics_port is not None:
+            metrics_server = await asyncio.start_server(
+                self._handle_metrics, host="127.0.0.1",
+                port=self.metrics_port,
+            )
+            self.broker.emit_event("svc.metrics.listen",
+                                   port=self.metrics_port)
+        self.broker.emit_event("svc.listen", socket=str(self.socket_path))
         if ready is not None:
             ready.set()
         # SIGINT/SIGTERM request the same clean drain as a shutdown op,
@@ -96,9 +116,13 @@ class ServiceDaemon:
         finally:
             for signum in hooked:
                 loop.remove_signal_handler(signum)
+            if metrics_server is not None:
+                metrics_server.close()
+                await metrics_server.wait_closed()
             await self.broker.stop()
             self.socket_path.unlink(missing_ok=True)
-            obslog.emit("svc.shutdown", socket=str(self.socket_path))
+            self.broker.emit_event("svc.shutdown",
+                                   socket=str(self.socket_path))
 
     def request_shutdown(self) -> None:
         self._stopping.set()
@@ -129,20 +153,54 @@ class ServiceDaemon:
         finally:
             writer.close()
 
+    async def _handle_metrics(self, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
+        """One-shot Prometheus scrape: any GET gets the exposition."""
+        try:
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            self.broker._refresh_gauges()
+            body = self.broker.metrics.render_prometheus().encode("utf-8")
+            head = (
+                "HTTP/1.0 200 OK\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                "Content-Length: %d\r\n"
+                "Connection: close\r\n\r\n" % len(body)
+            ).encode("ascii")
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
     async def _dispatch(self, payload: dict) -> dict:
         op = payload.get("op")
         if op == "status":
             return {"status": "ok", "snapshot": self.broker.snapshot()}
+        if op == "metrics":
+            self.broker._refresh_gauges()
+            return {
+                "status": "ok",
+                "metrics": self.broker.metrics.snapshot(),
+                "exposition": self.broker.metrics.render_prometheus(),
+            }
         if op == "shutdown":
             self.request_shutdown()
             return {"status": "ok", "stopping": True}
         if op == "simulate":
+            trace = payload.get("trace")
+            trace = trace if isinstance(trace, dict) else {}
             try:
                 request = SimRequest(
                     workload=payload["workload"],
                     gpu=payload.get("gpu", "3060-Sim"),
                     strategy=payload.get("strategy", "baseline"),
                     deadline=payload.get("deadline"),
+                    trace_id=trace.get("trace_id"),
+                    parent_span=trace.get("span_id"),
                 )
             except (KeyError, ValueError, TypeError) as exc:
                 return {"status": "error", "error": f"bad request: {exc!r}"}

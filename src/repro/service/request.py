@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.gpu import GPUConfig, SimResult
+from repro.obs.tracing import SpanContext
 
 __all__ = [
     "DeadlineExceeded",
@@ -83,16 +84,29 @@ class SimRequest:
     timeout (:meth:`~repro.experiments.resilience.RetryPolicy.clamped`)
     and fails the request typed (:class:`DeadlineExceeded`) once it is
     spent -- whether the time went to queueing or to execution.
+
+    ``trace_id`` / ``parent_span`` carry the client's span context
+    in-band (the daemon lifts them from the JSON protocol's ``trace``
+    object): the broker parents its ``svc.request`` span there so one
+    trace runs from the client process into the service.  They change
+    nothing about what is computed.
     """
 
     workload: str
     gpu: "str | GPUConfig"
     strategy: str
     deadline: "float | None" = None
+    trace_id: "str | None" = None
+    parent_span: "str | None" = None
 
     def __post_init__(self):
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError("deadline must be positive seconds (or None)")
+
+    def trace_context(self) -> "SpanContext | None":
+        if not self.trace_id or not self.parent_span:
+            return None
+        return SpanContext(self.trace_id, self.parent_span)
 
 
 @dataclass
@@ -107,6 +121,12 @@ class ServiceResponse:
     served under load shedding).  ``coalesced`` marks responses that
     piggybacked on another request's execution; ``stale`` responses
     always carry a ``warning``.
+
+    ``trace_id`` / ``span_id`` name the broker's ``svc.request`` span
+    for this request; ``exec_span_id`` (when the request executed or
+    coalesced onto an execution) names the *shared* ``svc.execute``
+    span, so N coalesced client traces all point at the one execution
+    that served them.
     """
 
     cell: str
@@ -117,9 +137,12 @@ class ServiceResponse:
     stale: bool = False
     warning: "str | None" = None
     latency_ms: float = 0.0
+    trace_id: "str | None" = None
+    span_id: "str | None" = None
+    exec_span_id: "str | None" = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "cell": self.cell,
             "key": self.key,
             "source": self.source,
@@ -129,3 +152,10 @@ class ServiceResponse:
             "latency_ms": self.latency_ms,
             "result": self.result.to_dict(),
         }
+        if self.trace_id is not None:
+            out["trace"] = {
+                "trace_id": self.trace_id,
+                "span_id": self.span_id,
+                "exec_span_id": self.exec_span_id,
+            }
+        return out

@@ -34,6 +34,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro import obslog
 from repro.experiments.resilience import _abandon_pool
+from repro.obs import metrics as obsmetrics
 
 __all__ = ["CircuitBreaker", "PoolSupervisor"]
 
@@ -124,8 +125,13 @@ class PoolSupervisor:
     :meth:`ok`.
     """
 
+    #: Breaker state encoded for the ``repro_service_breaker_state``
+    #: gauge (Prometheus wants a number, not a string).
+    _STATE_CODES = {"closed": 0, "half-open": 1, "open": 2}
+
     def __init__(self, pool_factory, *, breaker: "CircuitBreaker | None" = None,
-                 probe_timeout: float = 10.0, clock=time.monotonic):
+                 probe_timeout: float = 10.0, clock=time.monotonic,
+                 emit=None, metrics=None):
         self._pool_factory = pool_factory
         self.breaker = breaker if breaker is not None else (
             CircuitBreaker(clock=clock)
@@ -136,6 +142,26 @@ class PoolSupervisor:
         self.probe_failures = 0
         self._pool = None
         self._probe_lock = asyncio.Lock()
+        # The broker injects its elapsed_ms-stamping emitter so every
+        # svc.* event shares one timing field; standalone supervisors
+        # (unit tests) fall back to the raw obslog writer.
+        self._emit = emit if emit is not None else obslog.emit
+        if metrics is None:
+            metrics = obsmetrics.registry()
+        self._m_state = metrics.gauge(
+            "repro_service_breaker_state",
+            "Circuit breaker state (0 closed, 1 half-open, 2 open)")
+        self._m_trips = metrics.counter(
+            "repro_service_breaker_trips_total", "Breaker trips")
+        self._m_restarts = metrics.counter(
+            "repro_service_pool_restarts_total", "Worker pool respawns")
+        self._m_probes = metrics.counter(
+            "repro_service_pool_probes_total", "Half-open health probes",
+            labelnames=("outcome",))
+        self._m_state.set(self._STATE_CODES.get(self.breaker.state, 0))
+
+    def _set_state_gauge(self) -> None:
+        self._m_state.set(self._STATE_CODES.get(self.breaker.state, 0))
 
     def start(self) -> None:
         if self._pool is None:
@@ -160,7 +186,8 @@ class PoolSupervisor:
 
     async def _probe(self):
         self.probes += 1
-        obslog.emit("svc.breaker", state="half-open", probes=self.probes)
+        self._m_state.set(self._STATE_CODES["half-open"])
+        self._emit("svc.breaker", state="half-open", probes=self.probes)
         if self._pool is None:
             self._pool = self._pool_factory()
         probe_future = self._pool.submit(_pool_probe)
@@ -177,15 +204,20 @@ class PoolSupervisor:
                 return None
             raise
         self.breaker.record_success()
-        obslog.emit("svc.breaker", state="closed", reason="probe-ok")
+        self._m_probes.inc(outcome="ok")
+        self._set_state_gauge()
+        self._emit("svc.breaker", state="closed", reason="probe-ok")
         return self._pool
 
     def _probe_failed(self, error: str) -> None:
         self.probe_failures += 1
         self._abandon()
         self.breaker.record_failure()
-        obslog.emit("svc.breaker", state="open", reason="probe-failed",
-                    error=error, backoff=self.breaker.open_backoff)
+        self._m_probes.inc(outcome="failed")
+        self._m_trips.inc()
+        self._set_state_gauge()
+        self._emit("svc.breaker", state="open", reason="probe-failed",
+                   error=error, backoff=self.breaker.open_backoff)
 
     def fail(self, reason: str) -> None:
         """A dispatcher observed a pool-level failure (crash/timeout).
@@ -201,7 +233,9 @@ class PoolSupervisor:
             # incident must not extend the backoff.
             return
         if self.breaker.record_failure():
-            obslog.emit(
+            self._m_trips.inc()
+            self._set_state_gauge()
+            self._emit(
                 "svc.breaker", state="open", reason=reason,
                 failures=self.breaker.threshold,
                 backoff=self.breaker.open_backoff,
@@ -211,6 +245,7 @@ class PoolSupervisor:
 
     def ok(self) -> None:
         self.breaker.record_success()
+        self._set_state_gauge()
 
     def _abandon(self) -> None:
         if self._pool is not None:
@@ -219,7 +254,8 @@ class PoolSupervisor:
 
     def _respawn(self) -> None:
         self.restarts += 1
-        obslog.emit("svc.pool.restart", restarts=self.restarts)
+        self._m_restarts.inc()
+        self._emit("svc.pool.restart", restarts=self.restarts)
         self._pool = self._pool_factory()
 
     def shutdown(self) -> None:

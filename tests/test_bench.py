@@ -484,3 +484,59 @@ def test_collate_history_tolerates_thin_provenance():
     assert row["engine_fingerprint"] is None
     assert row["wall_ms_total"] is None
     assert row["cells"] == 0
+
+
+def test_collate_history_deltas_within_scenario_and_machine(tmp_path):
+    """delta_wall_ms compares a run to the previous run of the *same
+    scenario on the same machine hash*: cross-host pairs and each
+    machine's first run collate with no delta."""
+    from repro.bench import collate_history, load_reports, machine_hash
+
+    host_a = {"platform": "Linux-x", "machine": "x86_64",
+              "python": "3.12.0", "cpu_count": 8}
+    host_b = {"platform": "Darwin-y", "machine": "arm64",
+              "python": "3.12.0", "cpu_count": 10}
+    runs = [
+        ("r1.json", 100, host_a, 100.0),
+        ("r2.json", 200, host_a, 130.0),
+        ("r3.json", 300, host_b, 500.0),   # new host: no delta
+        ("r4.json", 400, host_a, 90.0),    # vs r2, not r3
+    ]
+    for name, created, machine, wall in runs:
+        doc = _bench_doc("engine_smoke", created, wall=wall)
+        doc["machine"] = machine
+        (tmp_path / name).write_text(json.dumps(doc))
+    other = _bench_doc("parallel_scaling", 250, wall=1000.0)
+    other["machine"] = host_a
+    (tmp_path / "other.json").write_text(json.dumps(other))
+
+    reports, skipped = load_reports(tmp_path)
+    assert skipped == []
+    rows = collate_history(reports)
+    by_source = {row["source"]: row for row in rows}
+    assert by_source["r1.json"]["delta_wall_ms"] is None
+    assert by_source["r2.json"]["delta_wall_ms"] == pytest.approx(30.0)
+    assert by_source["r3.json"]["delta_wall_ms"] is None
+    assert by_source["r4.json"]["delta_wall_ms"] == pytest.approx(-40.0)
+    # The other scenario's run interleaves in time but never pairs.
+    assert by_source["other.json"]["delta_wall_ms"] is None
+    assert by_source["r1.json"]["machine"] == machine_hash(host_a)
+    assert by_source["r3.json"]["machine"] == machine_hash(host_b)
+    # The hash is order-insensitive content identity.
+    assert machine_hash(dict(reversed(list(host_a.items())))) \
+        == machine_hash(host_a)
+    assert machine_hash(None) is None
+
+
+def test_collate_history_skips_deltas_without_machine_provenance():
+    from repro.bench import collate_history
+
+    docs = [
+        {"scenario": "engine_smoke", "created_unix": t,
+         "aggregate": {"wall_ms_total": 100.0 + t}, "cells": [],
+         "_source": f"t{t}.json"}
+        for t in (1, 2)
+    ]
+    rows = collate_history(docs)
+    assert [row["delta_wall_ms"] for row in rows] == [None, None]
+    assert [row["machine"] for row in rows] == [None, None]

@@ -497,14 +497,14 @@ def test_cli_log_flag_writes_obslog(small_registry, capsys, tmp_path):
 # --------------------------------------------------------------------- #
 
 
-def _history_doc(scenario, created, sha, dirty=False):
+def _history_doc(scenario, created, sha, dirty=False, wall=1234.5):
     return {
         "scenario": scenario,
         "created_unix": created,
         "git": {"sha": sha, "dirty": dirty},
         "engine_fingerprint": "e" * 64,
         "aggregate": {
-            "wall_ms_total": 1234.5,
+            "wall_ms_total": wall,
             "cells_per_sec": 8.0,
             "peak_rss_kb": 2048,
         },
@@ -590,3 +590,215 @@ def test_cache_reports_sweeps_and_tuning_knob(capsys, tmp_path,
     out = capsys.readouterr().out
     assert "swept: 1 orphaned writer temp file(s)" in out
     assert diskcache.SWEEP_AGE_ENV in out
+
+
+# --------------------------------------------------------------------- #
+# repro trace (stitched request timelines)
+# --------------------------------------------------------------------- #
+
+
+def _span_line(name, trace_id, span_id, parent_id, start, dur, **attrs):
+    import json
+
+    record = {"event": "span", "ts": start, "pid": 7, "name": name,
+              "trace_id": trace_id, "span_id": span_id,
+              "parent_id": parent_id, "start_unix": start, "dur_ms": dur}
+    record.update(attrs)
+    return json.dumps(record, sort_keys=True) + "\n"
+
+
+def _traced_obslog(path, cell="3D-LE|3060-Sim|baseline"):
+    """Two traces: a busy executed request and a two-span memo hit."""
+    busy, memo = "a" * 32, "b" * 32
+    path.write_text(
+        _span_line("svc.queue_wait", busy, "q" * 16, "r" * 16,
+                   1000.0005, 2.0, role="broker")
+        + _span_line("svc.attempt", busy, "t" * 16, "e" * 16,
+                     1000.003, 40.0, role="broker", outcome="ok",
+                     attempt=1)
+        + _span_line("svc.execute", busy, "e" * 16, "r" * 16,
+                     1000.002, 45.0, role="broker", cell=cell)
+        + _span_line("svc.request", busy, "r" * 16, "c" * 16,
+                     1000.0, 50.0, role="broker", outcome="worker")
+        + _span_line("client.request", busy, "c" * 16, None,
+                     999.999, 52.0, role="client")
+        + _span_line("svc.request", memo, "m" * 16, None,
+                     2000.0, 0.2, role="broker", outcome="memo")
+        + _span_line("svc.queue_wait", memo, "n" * 16, "m" * 16,
+                     2000.0001, 0.1, role="broker")
+    )
+    return busy, memo
+
+
+def test_trace_list_shows_trace_ids(capsys, tmp_path):
+    sink = tmp_path / "obslog.jsonl"
+    busy, memo = _traced_obslog(sink)
+    assert main(["trace", str(sink), "--list"]) == 0
+    out = capsys.readouterr().out
+    assert f"{busy}  5 spans" in out
+    assert f"{memo}  2 spans" in out
+
+
+def test_trace_stitches_busiest_trace_with_engine_spans(small_registry,
+                                                        capsys, tmp_path):
+    import json
+
+    sink = tmp_path / "obslog.jsonl"
+    busy, _ = _traced_obslog(sink)
+    out_file = tmp_path / "stitched.json"
+    assert main(["trace", str(sink), "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert f"trace {busy}" in out
+    assert "client.request" in out and "svc.queue_wait" in out
+
+    stitched = json.loads(out_file.read_text())
+    assert stitched["otherData"]["trace_id"] == busy
+    service = [e for e in stitched["traceEvents"]
+               if e.get("pid") == 100 and e.get("ph") == "X"]
+    assert {e["name"] for e in service} == {
+        "client.request", "svc.request", "svc.queue_wait",
+        "svc.execute", "svc.attempt",
+    }
+    engine = [e for e in stitched["traceEvents"]
+              if e.get("pid") != 100 and e.get("ph") != "M"]
+    assert engine, "the traced cell must be re-simulated into the export"
+    # Engine sim-time is anchored at the successful attempt span.
+    offset = stitched["otherData"]["anchor_offset_us"]
+    assert offset == pytest.approx((1000.003 - 999.999) * 1e6)
+
+
+def test_trace_no_engine_and_explicit_trace_id(capsys, tmp_path):
+    import json
+
+    sink = tmp_path / "obslog.jsonl"
+    _, memo = _traced_obslog(sink)
+    assert main(["trace", str(sink), "--trace-id", memo,
+                 "--no-engine", "--format", "json"]) == 0
+    stitched = json.loads(capsys.readouterr().out)
+    assert stitched["otherData"]["trace_id"] == memo
+    assert stitched["otherData"]["span_count"] == 2
+    assert "anchor_offset_us" not in stitched["otherData"]
+    assert all(e.get("pid") == 100 for e in stitched["traceEvents"])
+
+
+def test_trace_errors_are_typed(capsys, tmp_path):
+    sink = tmp_path / "obslog.jsonl"
+    sink.write_text('{"event": "svc.listen", "ts": 1, "pid": 1}\n')
+    assert main(["trace", str(sink)]) == 2
+    assert "no span records" in capsys.readouterr().err
+    _traced_obslog(sink)
+    assert main(["trace", str(sink), "--trace-id", "f" * 32]) == 2
+    assert "no spans for trace" in capsys.readouterr().err
+    assert main(["trace", str(tmp_path / "missing-dir" / "x.jsonl"),
+                 "--list"]) == 0  # missing file reads as empty log
+
+
+def test_trace_unknown_cell_falls_back_to_wall_clock(capsys, tmp_path,
+                                                     monkeypatch):
+    """An obslog recorded against workloads this checkout cannot load
+    still stitches -- with a warning instead of engine spans."""
+    import repro.cli as cli
+
+    def explode(key):
+        raise KeyError(key)
+
+    monkeypatch.setattr(cli, "load_workload", explode)
+    sink = tmp_path / "obslog.jsonl"
+    _traced_obslog(sink, cell="GONE|3060-Sim|baseline")
+    assert main(["trace", str(sink)]) == 0
+    captured = capsys.readouterr()
+    assert "cannot re-simulate" in captured.err
+    assert "client.request" in captured.out
+
+
+# --------------------------------------------------------------------- #
+# repro request introspection ops
+# --------------------------------------------------------------------- #
+
+
+def test_request_ops_report_unreachable_daemon(capsys, tmp_path):
+    sock = str(tmp_path / "nonexistent.sock")
+    assert main(["request", "--socket", sock]) == 2
+    assert "cannot reach daemon" in capsys.readouterr().err
+    assert main(["request", "--socket", sock, "--op", "metrics"]) == 2
+    assert "cannot reach daemon" in capsys.readouterr().err
+
+
+def test_request_metrics_formats_from_live_daemon(capsys, tmp_path,
+                                                  monkeypatch):
+    """--op metrics round-trips a real daemon: prom output is the
+    exposition text, json is the snapshot, text is the compact view."""
+    import asyncio
+    import json
+    import threading
+
+    from repro.experiments import runner as exp_runner
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service import Broker
+    from repro.service.daemon import ServiceDaemon
+
+    socket_path = tmp_path / "cli-metrics.sock"
+    broker = Broker(jobs=1, metrics=MetricsRegistry(), session="cli-m")
+    daemon = ServiceDaemon(broker, socket_path=socket_path)
+
+    loop_holder = {}
+
+    def serve():
+        loop = asyncio.new_event_loop()
+        loop_holder["loop"] = loop
+        ready = asyncio.Event()
+        loop_holder["task"] = loop.create_task(daemon.run(ready))
+        loop.run_until_complete(loop_holder["task"])
+        loop.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    for _ in range(200):
+        if socket_path.exists():
+            break
+        thread.join(0.05)
+    assert socket_path.exists(), "daemon never came up"
+    try:
+        assert main(["request", "--socket", str(socket_path),
+                     "--op", "metrics", "--format", "prom"]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE repro_service_requests_total counter" in prom
+        assert "repro_service_breaker_state" in prom
+
+        assert main(["request", "--socket", str(socket_path),
+                     "--op", "metrics", "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["repro_service_requests_total"]["type"] == "counter"
+
+        assert main(["request", "--socket", str(socket_path),
+                     "--op", "metrics"]) == 0
+        text = capsys.readouterr().out
+        assert "requests" in text and "breaker=closed" in text
+
+        assert main(["request", "--socket", str(socket_path),
+                     "--op", "status"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["stats"]["requests"] == 0
+    finally:
+        loop_holder["loop"].call_soon_threadsafe(daemon.request_shutdown)
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+def test_bench_history_renders_same_machine_delta(capsys, tmp_path):
+    import json
+
+    host = {"platform": "L", "machine": "x", "python": "3",
+            "cpu_count": 2}
+    history = tmp_path / "history"
+    history.mkdir()
+    for index, (name, wall) in enumerate(
+            [("BENCH_one.json", 1000.0), ("BENCH_two.json", 1250.0)]):
+        doc = _history_doc("engine_smoke", 100 + index, "c" * 40,
+                           wall=wall)
+        doc["machine"] = host
+        (history / name).write_text(json.dumps(doc))
+    assert main(["bench", "--history", str(history)]) == 0
+    out = capsys.readouterr().out
+    assert "delta ms" in out
+    assert "+250" in out

@@ -1,0 +1,220 @@
+"""Unit contracts of :mod:`repro.obs`: metrics registry and span model.
+
+The service-level acceptance proofs (tracing-on bit-identity, stitched
+timelines, Prometheus endpoint families) live in ``test_service.py``;
+this file pins the primitives they build on:
+
+* counter/gauge/histogram semantics, label identity, and registration
+  idempotence;
+* Prometheus text exposition 0.0.4 shape, rendered deterministically;
+* span records riding the obslog with parent links intact, the
+  ``REPRO_TRACE`` session root, and the in-band context codec.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obslog
+from repro.obs import metrics as obsmetrics
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, SpanContext
+
+
+# --------------------------------------------------------------------- #
+# Metrics registry
+# --------------------------------------------------------------------- #
+
+
+def test_counter_and_gauge_semantics():
+    reg = MetricsRegistry()
+    requests = reg.counter("repro_requests_total", "Requests seen.")
+    assert requests.value() == 0.0
+    requests.inc()
+    requests.inc(2.5)
+    assert requests.value() == 3.5
+    with pytest.raises(ValueError):
+        requests.inc(-1)
+
+    depth = reg.gauge("repro_queue_size", "Queued entries.")
+    depth.set(4)
+    depth.dec()
+    depth.inc(0.5)
+    assert depth.value() == 3.5
+
+
+def test_labelled_series_are_distinct_and_order_insensitive():
+    reg = MetricsRegistry()
+    outcomes = reg.counter("repro_attempts_total", "Attempts.",
+                           labelnames=("outcome", "cell"))
+    outcomes.inc(outcome="ok", cell="a")
+    outcomes.inc(cell="a", outcome="ok")  # same series, any kwarg order
+    outcomes.inc(outcome="error", cell="a")
+    assert outcomes.value(outcome="ok", cell="a") == 2.0
+    assert outcomes.value(outcome="error", cell="a") == 1.0
+    with pytest.raises(ValueError):
+        outcomes.inc(outcome="ok")  # missing a declared label
+
+
+def test_registration_is_idempotent_but_conflicts_raise():
+    reg = MetricsRegistry()
+    first = reg.counter("repro_x_total", "X.")
+    again = reg.counter("repro_x_total", "X.")
+    assert first is again
+    with pytest.raises(ValueError):
+        reg.gauge("repro_x_total", "X as a gauge.")
+    with pytest.raises(ValueError):
+        reg.counter("repro_x_total", "X.", labelnames=("cell",))
+
+
+def test_histogram_buckets_are_cumulative():
+    reg = MetricsRegistry()
+    lat = reg.histogram("repro_latency_seconds", "Latency.",
+                        buckets=(0.1, 1.0, 10.0))
+    for sample in (0.05, 0.5, 0.5, 5.0, 50.0):
+        lat.observe(sample)
+    counts, total = lat.counts()
+    # Cumulative per Prometheus semantics: le=0.1, le=1.0, le=10.0, +Inf.
+    assert counts == [1, 3, 4, 5]
+    assert total == pytest.approx(56.05)
+
+
+def test_prometheus_exposition_shape():
+    reg = MetricsRegistry()
+    reg.counter("repro_service_coalesced_total", "Coalesced requests.").inc(3)
+    reg.gauge("repro_service_breaker_state",
+              "Breaker state (0 closed / 1 half-open / 2 open).").set(2)
+    shed = reg.counter("repro_service_shed_total", "Shed requests.")
+    shed.inc()
+    hist = reg.histogram("repro_service_queue_wait_seconds", "Queue wait.",
+                         buckets=(0.5, 1.0))
+    hist.observe(0.25)
+    text = reg.render_prometheus()
+    lines = text.splitlines()
+    assert text.endswith("\n")
+    assert "# TYPE repro_service_coalesced_total counter" in lines
+    assert "repro_service_coalesced_total 3" in lines
+    assert "repro_service_breaker_state 2" in lines
+    assert 'repro_service_queue_wait_seconds_bucket{le="0.5"} 1' in lines
+    assert 'repro_service_queue_wait_seconds_bucket{le="+Inf"} 1' in lines
+    assert "repro_service_queue_wait_seconds_count 1" in lines
+    # Every sample line belongs to a metric that was HELP/TYPE-declared
+    # above it -- the 0.0.4 text-format contract a scraper relies on.
+    declared = set()
+    for line in lines:
+        if line.startswith("# TYPE"):
+            declared.add(line.split()[2])
+        elif line and not line.startswith("#"):
+            name = line.split("{")[0].split()[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix):
+                    base = name[: -len(suffix)]
+            assert name in declared or base in declared, line
+    # Deterministic: same registry renders byte-identical text.
+    assert reg.render_prometheus() == text
+
+
+def test_snapshot_roundtrips_to_plain_json_types():
+    import json
+
+    reg = MetricsRegistry()
+    reg.counter("repro_a_total", "A.", labelnames=("k",)).inc(k="v")
+    reg.histogram("repro_b_seconds", "B.", buckets=(1.0,)).observe(0.5)
+    snapshot = reg.snapshot()
+    assert json.loads(json.dumps(snapshot)) == snapshot
+    assert snapshot["repro_a_total"]["type"] == "counter"
+    assert snapshot["repro_b_seconds"]["series"][0]["count"] == 1
+
+
+# --------------------------------------------------------------------- #
+# Tracing
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def span_sink(tmp_path, monkeypatch):
+    path = tmp_path / "spans.jsonl"
+    monkeypatch.setenv(obslog.OBSLOG_ENV, str(path))
+    return path
+
+
+def spans_in(path):
+    return [e for e in obslog.read_events(path) if e["event"] == "span"]
+
+
+def test_span_record_carries_identity_and_timing(span_sink):
+    root = Span("client.request", role="client")
+    child = Span("svc.queue_wait", parent=root.context, role="broker")
+    child.end(outcome="ok")
+    root.end(status="ok")
+
+    records = spans_in(span_sink)
+    assert [r["name"] for r in records] == ["svc.queue_wait",
+                                            "client.request"]
+    child_rec, root_rec = records
+    assert child_rec["trace_id"] == root_rec["trace_id"]
+    assert child_rec["parent_id"] == root_rec["span_id"]
+    assert root_rec["parent_id"] is None
+    for record in records:
+        assert record["dur_ms"] >= 0.0
+        assert isinstance(record["start_unix"], float)
+    assert child_rec["outcome"] == "ok"
+    assert root_rec["role"] == "client"
+
+
+def test_span_end_is_idempotent(span_sink):
+    span = Span("once")
+    span.end()
+    span.end()
+    assert len(spans_in(span_sink)) == 1
+
+
+def test_span_context_manager_records_errors(span_sink):
+    with pytest.raises(RuntimeError):
+        with tracing.span("svc.attempt", role="broker"):
+            raise RuntimeError("boom")
+    record = spans_in(span_sink)[0]
+    assert record["status"] == "error"
+    assert record["error"] == "RuntimeError"
+
+
+def test_context_codec_roundtrip():
+    ctx = SpanContext(tracing.new_trace_id(), tracing.new_span_id())
+    assert SpanContext.decode(ctx.encode()) == ctx
+    assert SpanContext.from_dict(ctx.to_dict()) == ctx
+    assert SpanContext.decode("garbage") is None
+    assert SpanContext.decode(None) is None
+
+
+def test_session_root_rides_the_environment(monkeypatch):
+    monkeypatch.delenv(tracing.TRACE_ENV, raising=False)
+    assert tracing.carried() is None
+    ctx = tracing.arm_session()
+    try:
+        assert tracing.carried() == ctx
+        # Arming twice keeps the existing root (idempotent).
+        assert tracing.arm_session() == ctx
+    finally:
+        tracing.disarm_session()
+    assert tracing.carried() is None
+
+
+def test_spans_join_the_carried_session_root(monkeypatch, span_sink):
+    monkeypatch.delenv(tracing.TRACE_ENV, raising=False)
+    root = tracing.arm_session()
+    try:
+        with tracing.span("cell.execute", parent=tracing.carried(),
+                          role="worker"):
+            pass
+    finally:
+        tracing.disarm_session()
+    record = spans_in(span_sink)[0]
+    assert record["trace_id"] == root.trace_id
+    assert record["parent_id"] == root.span_id
+
+
+def test_default_registry_is_process_global():
+    reg = obsmetrics.registry()
+    assert obsmetrics.registry() is reg

@@ -751,3 +751,279 @@ def test_service_iosan_writes_match_static_model(fake_registry, tmp_path,
     assert ("cache-results", iosan.PROTOCOL_ATOMIC_RENAME) in observed
     assert ("manifest", iosan.PROTOCOL_APPEND) in observed
     assert ("obslog", iosan.PROTOCOL_APPEND) in observed
+
+
+# --------------------------------------------------------------------- #
+# Observability: tracing, stitched timelines, metrics
+# --------------------------------------------------------------------- #
+
+
+def span_records(path, name=None):
+    spans = [e for e in read_events(path) if e["event"] == "span"]
+    if name is not None:
+        spans = [s for s in spans if s["name"] == name]
+    return spans
+
+
+def test_tracing_armed_chaos_is_bit_identical(fake_registry, tmp_path,
+                                              monkeypatch, obslog_sink):
+    """Arming the full observability stack -- session root in the env,
+    per-request client contexts, metrics registry -- changes *nothing*
+    about what a fault-injected burst computes: every response stays
+    bit-identical to the clean tracing-off serial baseline, and the
+    coalescing fan-out shares exactly one execution span per cell."""
+    from repro.obs import tracing
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import SpanContext, new_span_id, new_trace_id
+
+    workloads = ["S1", "S2"]
+    strategies = ["baseline", "ARC-HW"]
+    # Baseline truth is computed with tracing OFF (no REPRO_TRACE, and
+    # spans to an obslog are observation, not computation).
+    truth = serial_truth(tmp_path, workloads, strategies)
+    monkeypatch.setenv(
+        tracing.TRACE_ENV,
+        SpanContext(new_trace_id(), new_span_id()).encode(),
+    )
+
+    cells = [(w, s) for w in workloads for s in strategies]
+    contexts = [SpanContext(new_trace_id(), new_span_id())
+                for _ in range(200)]
+    requests = [
+        SimRequest(workload=cells[i % len(cells)][0], gpu="3060-Sim",
+                   strategy=cells[i % len(cells)][1],
+                   trace_id=contexts[i].trace_id,
+                   parent_span=contexts[i].span_id)
+        for i in range(200)
+    ]
+    faults.configure(FaultPlan((
+        FaultSpec(cell="S1|3060-Sim|baseline", kind="crash", times=1),
+        FaultSpec(cell="S2|3060-Sim|baseline", kind="queue-full", times=1),
+    )))
+
+    async def resilient_submit(broker, request):
+        for _ in range(2400):
+            try:
+                return await broker.submit(request)
+            except RequestShed:
+                await asyncio.sleep(0.05)
+        raise AssertionError(f"{request.workload} shed forever")
+
+    async def scenario(broker):
+        await broker.start()
+        try:
+            tasks = [
+                asyncio.ensure_future(resilient_submit(broker, request))
+                for request in requests
+            ]
+            return await asyncio.gather(*tasks)
+        finally:
+            await broker.stop()
+
+    broker = Broker(jobs=2, queue_depth=4,
+                    policy=fast_policy(timeout=3.0, attempts=2),
+                    session="traced-load", metrics=MetricsRegistry())
+    responses = asyncio.run(scenario(broker))
+
+    mismatched = [
+        r.cell for r, request in zip(responses, requests)
+        if r.result.to_dict() != truth[
+            (request.workload, "3060-Sim", request.strategy)
+        ]
+    ]
+    assert not mismatched, f"tracing changed results: {mismatched[:5]}"
+
+    # Every response joined its client's trace, not a broker-local one.
+    for response, context in zip(responses, contexts):
+        assert response.trace_id == context.trace_id
+        assert response.span_id is not None
+    # One *fulfilled* svc.request span per request, parented on the
+    # client context.  Shed submissions emit their own outcome="shed"
+    # spans and are resubmitted, so those add spans beyond the 200.
+    request_spans = span_records(obslog_sink, "svc.request")
+    fulfilled = [s for s in request_spans if s.get("outcome") != "shed"]
+    assert len(fulfilled) == len(requests)
+    assert {s["parent_id"] for s in fulfilled} \
+        == {c.span_id for c in contexts}
+    assert all(s.get("outcome") == "shed"
+               for s in request_spans if s not in fulfilled)
+    # Coalescing fan-out: all responses that point at an execution for
+    # one cell point at the SAME svc.execute span.
+    exec_ids_by_cell: "dict[str, set]" = {}
+    for response in responses:
+        if response.exec_span_id:
+            exec_ids_by_cell.setdefault(response.cell, set()).add(
+                response.exec_span_id
+            )
+    assert exec_ids_by_cell, "executed cells must report exec spans"
+    for cell, ids in exec_ids_by_cell.items():
+        assert len(ids) == 1, f"{cell} fanned out {len(ids)} exec spans"
+    # ...and those ids are real emitted svc.execute spans whose fanout
+    # attribute accounts for the waiters they served.
+    exec_spans = {s["span_id"]: s
+                  for s in span_records(obslog_sink, "svc.execute")}
+    for ids in exec_ids_by_cell.values():
+        (exec_id,) = ids
+        assert exec_id in exec_spans
+        assert exec_spans[exec_id]["fanout"] >= 1
+
+
+def test_stitched_export_holds_full_request_path(fake_registry, tmp_path,
+                                                 obslog_sink):
+    """One traced request stitches into a single Perfetto timeline:
+    client span, broker queue-wait, retry attempts (the fault forces a
+    second one) and the engine's sim-time phase spans, all present in
+    one traceEvents list with the service spans on their own process."""
+    from repro.experiments.runner import make_strategy
+    from repro.obs.tracing import Span
+    from repro.profiling import capture_timeline, stitch_service_trace
+
+    truth = serial_truth(tmp_path, ["S1"], ["baseline"])
+    faults.configure(FaultPlan((
+        FaultSpec(cell="S1|3060-Sim|baseline", kind="error", times=1),
+    )))
+
+    client_span = Span("client.request", role="client", workload="S1",
+                       gpu="3060-Sim", strategy="baseline")
+    request = SimRequest(workload="S1", gpu="3060-Sim",
+                         strategy="baseline",
+                         trace_id=client_span.context.trace_id,
+                         parent_span=client_span.context.span_id)
+    broker = Broker(jobs=1, policy=fast_policy(), session="stitch")
+
+    async def scenario():
+        await broker.start()
+        try:
+            return await broker.submit(request)
+        finally:
+            await broker.stop()
+
+    response = asyncio.run(scenario())
+    client_span.end(status="ok")
+    assert response.result.to_dict() == truth[("S1", "3060-Sim",
+                                               "baseline")]
+
+    telemetry = capture_timeline(
+        FAKES["S1"].capture_trace(), SIMULATED_GPUS["3060-Sim"],
+        make_strategy("baseline"),
+    )
+    events = read_events(obslog_sink)
+    stitched = stitch_service_trace(
+        events, trace_id=client_span.context.trace_id,
+        telemetry=telemetry,
+    )
+    service = [e for e in stitched["traceEvents"]
+               if e.get("pid") == 100 and e.get("ph") == "X"]
+    names = [e["name"] for e in service]
+    assert "client.request" in names
+    assert "svc.request" in names
+    assert "svc.queue_wait" in names
+    assert "svc.execute" in names
+    # The planned error forces a retry: at least two attempt spans, one
+    # errored and one ok.
+    attempts = [e for e in service if e["name"] == "svc.attempt"]
+    assert len(attempts) >= 2
+    outcomes = {a["args"].get("outcome") for a in attempts}
+    assert "ok" in outcomes
+    # Engine phase spans share the timeline on their own pids.
+    engine = [e for e in stitched["traceEvents"]
+              if e.get("pid") != 100 and e.get("ph") != "M"]
+    assert engine, "sim-time engine events must be stitched in"
+    assert stitched["otherData"]["trace_id"] == client_span.context.trace_id
+    # The worker's cell.execute span joined the session trace (a
+    # different trace id -- the env root), so it is NOT on this
+    # timeline; the attempt spans are the per-request view of it.
+    assert all(e["name"] != "cell.execute" for e in service)
+
+
+def test_metrics_registry_counts_admission_outcomes(fake_registry,
+                                                    tmp_path, obslog_sink):
+    """One duplicate-heavy burst with a planned queue-full fault lands
+    in the injected registry: coalesce/shed/completed counters match
+    broker stats, and the exposition is valid deterministic 0.0.4 text
+    with the families CI's smoke job scrapes for."""
+    from repro.obs.metrics import MetricsRegistry
+
+    serial_truth(tmp_path, ["S1"], ["baseline"])
+    faults.configure(FaultPlan((
+        FaultSpec(cell="S1|3060-Sim|baseline", kind="queue-full", times=1),
+    )))
+    registry = MetricsRegistry()
+    broker = Broker(jobs=1, paused=True, policy=fast_policy(),
+                    session="metrics", metrics=registry)
+    requests = [SimRequest(workload="S1", gpu="3060-Sim",
+                           strategy="baseline") for _ in range(6)]
+    outcomes = asyncio.run(ordered_burst(broker, requests))
+    shed = [o for o in outcomes if isinstance(o, RequestShed)]
+    assert len(shed) == 1
+
+    stats = broker.stats
+    counter = lambda name, **labels: registry.get(name).value(**labels)
+    assert counter("repro_service_requests_total") == stats.requests == 6
+    assert counter("repro_service_shed_total") == stats.shed == 1
+    assert counter("repro_service_coalesced_total") == stats.coalesced
+    assert counter("repro_service_admitted_total") == stats.admitted == 1
+    assert counter("repro_service_completed_total",
+                   source="worker") == 1
+    assert counter("repro_service_attempts_total", outcome="ok") == 1
+    assert registry.get("repro_service_breaker_state").value() == 0
+    latency = registry.get("repro_service_request_latency_seconds")
+    _, lat_sum = latency.counts()
+    assert lat_sum > 0
+
+    text = registry.render_prometheus()
+    for family in ("repro_service_coalesced_total",
+                   "repro_service_shed_total",
+                   "repro_service_breaker_state"):
+        assert f"# TYPE {family} " in text
+    assert "repro_service_shed_total 1" in text.splitlines()
+    assert registry.render_prometheus() == text
+
+
+def test_daemon_metrics_op_returns_snapshot_and_exposition(fake_registry):
+    """The ``metrics`` op answers with both machine forms -- the JSON
+    snapshot and the exact Prometheus text served on --metrics-port."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service.daemon import ServiceDaemon
+
+    broker = Broker(jobs=1, metrics=MetricsRegistry(), session="mop")
+    daemon = ServiceDaemon(broker)
+    reply = asyncio.run(daemon._dispatch({"op": "metrics"}))
+    assert reply["status"] == "ok"
+    assert "repro_service_requests_total" in reply["metrics"]
+    assert "# TYPE repro_service_requests_total counter" \
+        in reply["exposition"]
+    assert reply["exposition"] == broker.metrics.render_prometheus()
+
+
+def test_svc_events_share_one_elapsed_ms_schema(fake_registry, tmp_path,
+                                                obslog_sink):
+    """Schema pin: every ``svc.*`` event carries a numeric
+    ``elapsed_ms`` on the broker's shared clock origin, monotone
+    non-decreasing in emission order, and ``svc.shed`` keeps its
+    post-mortem fields alongside it."""
+    serial_truth(tmp_path, ["S1", "S2"], ["baseline"])
+    faults.configure(FaultPlan((
+        FaultSpec(cell="S1|3060-Sim|baseline", kind="queue-full", times=1),
+    )))
+    broker = Broker(jobs=1, paused=True, policy=fast_policy(),
+                    session="schema")
+    requests = [
+        SimRequest(workload=w, gpu="3060-Sim", strategy="baseline")
+        for w in ("S1", "S2", "S1", "S2")
+    ]
+    asyncio.run(ordered_burst(broker, requests))
+
+    svc_events = [e for e in read_events(obslog_sink)
+                  if e["event"].startswith("svc.")]
+    assert svc_events, "the burst must emit service events"
+    for event in svc_events:
+        assert isinstance(event.get("elapsed_ms"), (int, float)), \
+            f"{event['event']} lacks numeric elapsed_ms: {event}"
+    elapsed = [e["elapsed_ms"] for e in svc_events]
+    assert elapsed == sorted(elapsed), \
+        "one shared clock origin means emission order is elapsed order"
+    (shed,) = [e for e in svc_events if e["event"] == "svc.shed"]
+    for field in ("queue_depth", "queue_size", "deadline_remaining",
+                  "cell", "key"):
+        assert field in shed
